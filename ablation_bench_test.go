@@ -1,0 +1,192 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// index-lookup cost, message-traffic reduction, message-buffer sizing,
+// and partition-count sensitivity.
+package graphz_test
+
+import (
+	"fmt"
+	"testing"
+
+	"graphz/internal/algo/graphzalgo"
+	"graphz/internal/bench"
+	"graphz/internal/core"
+	"graphz/internal/csr"
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// ablationFixture builds one medium-sized graph in both layouts on null
+// devices (no IO cost — these measure host-side data-structure work and
+// engine message behaviour).
+type ablationFixture struct {
+	dosG *dos.Graph
+	csrG *csr.Graph
+}
+
+var ablationFix *ablationFixture
+
+func getAblationFixture(b *testing.B) *ablationFixture {
+	b.Helper()
+	if ablationFix != nil {
+		return ablationFix
+	}
+	edges := gen.RMAT(16, 600_000, gen.NaturalRMAT, 77)
+	dev1 := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev1, "raw", edges); err != nil {
+		b.Fatal(err)
+	}
+	dg, err := dos.Convert(dos.ConvertConfig{Dev: dev1}, "raw", "g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev2 := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev2, "raw", edges); err != nil {
+		b.Fatal(err)
+	}
+	cg, err := csr.Build(csr.BuildConfig{Dev: dev2}, "raw", "g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cg.LoadIndex(); err != nil {
+		b.Fatal(err)
+	}
+	ablationFix = &ablationFixture{dosG: dg, csrG: cg}
+	return ablationFix
+}
+
+// BenchmarkAblationIndexLookupDOS measures a random vertex's degree+offset
+// through the bucket table (binary search over a few hundred entries).
+func BenchmarkAblationIndexLookupDOS(b *testing.B) {
+	f := getAblationFixture(b)
+	n := graph.VertexID(f.dosG.NumVertices)
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := graph.VertexID(uint32(i*2654435761)) % n
+		off, err := f.dosG.EdgeOffset(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += off
+	}
+	_ = sink
+}
+
+// BenchmarkAblationIndexLookupCSR measures the same lookup through the
+// per-vertex offset array: faster per lookup but 8 bytes of resident
+// memory per vertex — the trade DOS wins on footprint, not latency.
+func BenchmarkAblationIndexLookupCSR(b *testing.B) {
+	f := getAblationFixture(b)
+	n := graph.VertexID(f.csrG.NumVertices)
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := graph.VertexID(uint32(i*2654435761)) % n
+		sink += f.csrG.OffsetOf(v)
+	}
+	_ = sink
+}
+
+// BenchmarkAblationMessageTraffic measures how many messages reach the
+// disk with dynamic messages on versus off, under a multi-partition
+// budget (the mechanism behind Figure 7's DM bar).
+func BenchmarkAblationMessageTraffic(b *testing.B) {
+	f := getAblationFixture(b)
+	budget := 6*int64(storage.DefaultBlockSize) + f.dosG.IndexBytes() +
+		int64(f.dosG.NumVertices)*8/3 + 4*1024
+	var spilledDM, spilledStatic, sent int64
+	for i := 0; i < b.N; i++ {
+		for _, dm := range []bool{true, false} {
+			opts := core.Options{MemoryBudget: budget, DynamicMessages: dm, MsgBufferBytes: 1024}
+			res, _, err := graphzalgo.PageRank(f.dosG, opts, 3, 0.85)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dm {
+				spilledDM = res.MessagesSpilled
+				sent = res.MessagesSent
+			} else {
+				spilledStatic = res.MessagesSpilled
+			}
+		}
+	}
+	b.ReportMetric(float64(spilledDM)/float64(sent), "dyn-spill-frac")
+	b.ReportMetric(float64(spilledStatic)/float64(sent), "static-spill-frac")
+	if _, done := printOnce.LoadOrStore("ab-msg", true); !done {
+		fmt.Printf("=== Ablation: message traffic === sent=%d, spilled with DM=%d, without DM=%d\n\n",
+			sent, spilledDM, spilledStatic)
+	}
+}
+
+// BenchmarkAblationMsgBuffer sweeps the per-partition message buffer
+// size; larger buffers batch spills into fewer, bigger appends.
+func BenchmarkAblationMsgBuffer(b *testing.B) {
+	for _, bufBytes := range []int{1 << 10, 16 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("buf%dKiB", bufBytes/1024), func(b *testing.B) {
+			edges := gen.RMAT(15, 300_000, gen.NaturalRMAT, 78)
+			var writeOps int64
+			for i := 0; i < b.N; i++ {
+				dev := storage.NewDevice(storage.SSD, storage.Options{})
+				if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+					b.Fatal(err)
+				}
+				g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+				if err != nil {
+					b.Fatal(err)
+				}
+				budget := 6*int64(storage.DefaultBlockSize) + g.IndexBytes() +
+					int64(g.NumVertices)*8/3 + 4*int64(bufBytes)
+				dev.ResetStats()
+				opts := core.Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: bufBytes}
+				if _, _, err := graphzalgo.PageRank(g, opts, 3, 0.85); err != nil {
+					b.Fatal(err)
+				}
+				writeOps = dev.Stats().WriteOps
+			}
+			b.ReportMetric(float64(writeOps), "write-ops")
+		})
+	}
+}
+
+// BenchmarkAblationPartitions sweeps the partition count (by shrinking
+// the budget) and reports spilled messages: more partitions mean more
+// cross-partition traffic — the paper's Figure 2 effect in reverse.
+func BenchmarkAblationPartitions(b *testing.B) {
+	f := getAblationFixture(b)
+	for _, parts := range []int64{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", parts), func(b *testing.B) {
+			vertexBytes := int64(f.dosG.NumVertices) * 8
+			budget := 6*int64(storage.DefaultBlockSize) + f.dosG.IndexBytes() +
+				(vertexBytes+parts-1)/parts + parts*4096
+			var spilled float64
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 4096}
+				res, _, err := graphzalgo.PageRank(f.dosG, opts, 3, 0.85)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spilled = float64(res.MessagesSpilled) / float64(res.MessagesSent)
+			}
+			b.ReportMetric(spilled, "spill-frac")
+		})
+	}
+}
+
+// BenchmarkEngineMicroPageRank measures raw engine throughput (host time
+// per edge per iteration) on the null device — the GC-pressure-sensitive
+// hot path the repro notes flag for Go.
+func BenchmarkEngineMicroPageRank(b *testing.B) {
+	f := getAblationFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.Options{MemoryBudget: 64 << 20, DynamicMessages: true}
+		if _, _, err := graphzalgo.PageRank(f.dosG, opts, 2, 0.85); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*f.dosG.NumEdges), "edges/op")
+}
+
+var _ = bench.DefaultBudget // keep the harness linked for future metrics

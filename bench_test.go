@@ -1,0 +1,207 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section VI). Each benchmark runs its experiment through the
+// harness in internal/bench (results are memoized, so repeated b.N
+// iterations are cheap), prints the reproduced table once, and reports
+// the headline quantity as a custom metric.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// or a single experiment:
+//
+//	go test -bench=BenchmarkFigure5 -benchtime=1x
+package graphz_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphz/internal/bench"
+	"graphz/internal/storage"
+)
+
+// printOnce prints an experiment's table a single time per process, no
+// matter how many b.N iterations the benchmark runs.
+var printOnce sync.Map
+
+func report(b *testing.B, id, table string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		fmt.Println(table)
+	}
+}
+
+func BenchmarkTable1_LOC(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table1()
+	}
+	report(b, "t1", t)
+}
+
+func BenchmarkTable2_PageRankPlainVsFrameworks(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table2()
+	}
+	report(b, "t2", t)
+	gz := bench.Run(bench.RunConfig{Scale: bench.Large, Algo: bench.PR,
+		Engine: bench.GraphZ, Kind: storage.SSD, Budget: bench.Mem4})
+	naive := bench.NaivePageRank(bench.Large, storage.SSD, bench.Mem4)
+	if !gz.Failed() && gz.Runtime > 0 {
+		b.ReportMetric(float64(naive.Runtime)/float64(gz.Runtime), "naive/GraphZ")
+	}
+}
+
+func BenchmarkTable8_UniqueDegrees(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table8()
+	}
+	report(b, "t8", t)
+}
+
+func BenchmarkTable9_LOC(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table9()
+	}
+	report(b, "t9", t)
+}
+
+func BenchmarkTable10_GraphProperties(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table10()
+	}
+	report(b, "t10", t)
+}
+
+func BenchmarkTable11_IndexSize(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table11()
+	}
+	report(b, "t11", t)
+}
+
+func BenchmarkTable12_Preprocessing(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table12()
+	}
+	report(b, "t12", t)
+}
+
+func BenchmarkFigure2_InPartitionCDF(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure2()
+	}
+	report(b, "f2", t)
+}
+
+func BenchmarkFigure5_XLarge(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure5()
+	}
+	report(b, "f5", t)
+	var xs, gz []bench.Outcome
+	for _, a := range bench.Algos {
+		xs = append(xs, bench.Run(bench.RunConfig{Scale: bench.XLarge, Algo: a,
+			Engine: bench.XStream, Kind: storage.HDD, Budget: bench.Mem8}))
+		gz = append(gz, bench.Run(bench.RunConfig{Scale: bench.XLarge, Algo: a,
+			Engine: bench.GraphZ, Kind: storage.HDD, Budget: bench.Mem8}))
+	}
+	b.ReportMetric(bench.HarmonicMeanSpeedup(xs, gz), "hm-speedup-vs-XStream")
+}
+
+func BenchmarkFigure6_Large(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure6(bench.Large)
+	}
+	report(b, "f6l", t)
+}
+
+func BenchmarkFigure6_Medium(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure6(bench.Medium)
+	}
+	report(b, "f6m", t)
+}
+
+func BenchmarkFigure6_Small(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure6(bench.Small)
+	}
+	report(b, "f6s", t)
+}
+
+func BenchmarkFigure7_Breakdown(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure7()
+	}
+	report(b, "f7", t)
+	var noDOS, full []bench.Outcome
+	for _, a := range bench.Algos {
+		noDOS = append(noDOS, bench.Run(bench.RunConfig{Scale: bench.Large, Algo: a,
+			Engine: bench.GraphZNoDOS, Kind: storage.SSD, Budget: bench.Mem8}))
+		full = append(full, bench.Run(bench.RunConfig{Scale: bench.Large, Algo: a,
+			Engine: bench.GraphZ, Kind: storage.SSD, Budget: bench.Mem8}))
+	}
+	b.ReportMetric(bench.HarmonicMeanSpeedup(noDOS, full), "hm-speedup-DOS")
+}
+
+func BenchmarkFigure8_PowerEnergy(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure8()
+	}
+	report(b, "f8", t)
+}
+
+func BenchmarkTable13_RelativeEnergy(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table13()
+	}
+	report(b, "t13", t)
+}
+
+func BenchmarkTable14_Iterations(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Table14()
+	}
+	report(b, "t14", t)
+}
+
+func BenchmarkPageCacheSensitivity(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.PageCacheSensitivity()
+	}
+	report(b, "pc", t)
+}
+
+func BenchmarkFigure9_IOStats(b *testing.B) {
+	var t string
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure9()
+	}
+	report(b, "f9", t)
+	gz := bench.Run(bench.RunConfig{Scale: bench.Large, Algo: bench.PR,
+		Engine: bench.GraphZ, Kind: storage.SSD, Budget: bench.Mem8})
+	chi := bench.Run(bench.RunConfig{Scale: bench.Large, Algo: bench.PR,
+		Engine: bench.GraphChi, Kind: storage.SSD, Budget: bench.Mem8})
+	if !gz.Failed() && !chi.Failed() && gz.Stats.ReadBytes > 0 {
+		b.ReportMetric(float64(chi.Stats.ReadBytes)/float64(gz.Stats.ReadBytes), "chi/gz-read-ratio")
+	}
+}

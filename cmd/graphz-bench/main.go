@@ -1,0 +1,97 @@
+// Command graphz-bench regenerates the paper's evaluation: every table
+// and figure of Section VI, printed as text tables. A full run covers all
+// four graph scales and takes several minutes; -experiments selects a
+// subset.
+//
+// Usage:
+//
+//	graphz-bench                          # everything
+//	graphz-bench -experiments t11,t12,f5  # a subset
+//	graphz-bench -list                    # show experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"graphz/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	what string
+	run  func() string
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"t1", "Table I: LOC to implement PageRank", bench.Table1},
+		{"t2", "Table II: time to execute PageRank", bench.Table2},
+		{"t8", "Table VIII: unique degrees of natural-graph analogs", bench.Table8},
+		{"t9", "Table IX: LOC comparison of graph engines", bench.Table9},
+		{"t10", "Table X: graph properties", bench.Table10},
+		{"t11", "Table XI: vertex index size", bench.Table11},
+		{"t12", "Table XII: preprocessing time", bench.Table12},
+		{"f2", "Figure 2: in-partition message CDF", bench.Figure2},
+		{"f5", "Figure 5: xlarge graph run times", bench.Figure5},
+		{"f6s", "Figure 6: small graph run times", func() string { return bench.Figure6(bench.Small) }},
+		{"f6m", "Figure 6: medium graph run times", func() string { return bench.Figure6(bench.Medium) }},
+		{"f6l", "Figure 6: large graph run times", func() string { return bench.Figure6(bench.Large) }},
+		{"f7", "Figure 7: performance breakdown", bench.Figure7},
+		{"f8", "Figure 8: power and energy", bench.Figure8},
+		{"t13", "Table XIII: relative energy", bench.Table13},
+		{"t14", "Table XIV: iterations for convergence", bench.Table14},
+		{"f9", "Figure 9: IO statistics", bench.Figure9},
+		{"pc", "Extension: OS page-cache sensitivity", bench.PageCacheSensitivity},
+	}
+}
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		sel  = flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-5s %s\n", e.id, e.what)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *sel != "" {
+		for _, id := range strings.Split(*sel, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			found := false
+			for _, e := range exps {
+				if e.id == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "graphz-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	start := time.Now()
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		t := time.Now()
+		fmt.Println(e.run())
+		fmt.Printf("[%s finished in %v]\n\n", e.id, time.Since(t).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments finished in %v\n", time.Since(start).Round(time.Millisecond))
+}

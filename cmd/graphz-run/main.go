@@ -1,0 +1,395 @@
+// Command graphz-run executes one of the six benchmark algorithms on a
+// raw edge list with a chosen engine, reporting modeled runtime, IO, and
+// energy. It is the quickest way to compare the engines on your own
+// graph.
+//
+// Usage:
+//
+//	graphz-run -in graph.bin -algo pr -engine graphz [-device ssd] [-budget 8388608]
+//	graphz-run -in graph.bin -algo bfs -engine xstream -source 12
+//	graphz-run -in graph.bin -dos graph.dos -algo pr   # reuse graphz-convert output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"graphz/internal/algo/chialgo"
+	"graphz/internal/algo/graphzalgo"
+	"graphz/internal/algo/xsalgo"
+	"graphz/internal/core"
+	"graphz/internal/dos"
+	"graphz/internal/energy"
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+	"graphz/internal/sim"
+	"graphz/internal/storage"
+	"graphz/internal/xstream"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input raw edge file (required)")
+		algo   = flag.String("algo", "pr", "algorithm: pr, bfs, cc, sssp, bp, rw")
+		engine = flag.String("engine", "graphz", "engine: graphz, graphchi, xstream")
+		device = flag.String("device", "ssd", "simulated device: hdd or ssd")
+		budget = flag.Int64("budget", 8<<20, "memory budget in bytes")
+		dosPfx = flag.String("dos", "", "prefix of pre-converted DOS files from graphz-convert (graphz engine only; skips conversion)")
+		iters  = flag.Int("iters", 10, "iterations for pr/bp/rw")
+		source = flag.Int("source", -1, "bfs/sssp source (original ID; default: max-degree vertex)")
+		pdrain = flag.Bool("parallel-drain", false, "graphz: apply pending messages with the mutex-pool worker pool")
+		cache  = flag.Bool("cache-adjacency", false, "graphz: keep adjacency resident when it fits the budget")
+		top    = flag.Int("top", 5, "print the top-N result vertices")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "graphz-run: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	kind := storage.SSD
+	if *device == "hdd" {
+		kind = storage.HDD
+	}
+
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	clock := sim.NewClock()
+	dev := storage.NewDevice(kind, storage.Options{Clock: clock})
+	if err := storage.WriteAll(dev, "raw", raw); err != nil {
+		fatal(err)
+	}
+
+	edges, err := graph.ReadEdges(dev, "raw")
+	if err != nil {
+		fatal(err)
+	}
+	dev.ResetStats()
+	src := graph.VertexID(0)
+	if *source >= 0 {
+		src = graph.VertexID(*source)
+	} else {
+		src = maxDegree(edges)
+	}
+
+	var (
+		iterations int
+		values     map[graph.VertexID]float64
+	)
+	switch *engine {
+	case "graphz":
+		if *dosPfx != "" {
+			if err := importDOS(dev, *dosPfx); err != nil {
+				fatal(err)
+			}
+		}
+		iterations, values, err = runGraphZ(dev, clock, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache)
+	case "graphchi":
+		iterations, values, err = runGraphChi(dev, clock, *algo, *budget, *iters, src)
+	case "xstream":
+		iterations, values, err = runXStream(dev, clock, *algo, *budget, *iters, src)
+	default:
+		err = fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := energy.Measure(clock, kind)
+	fmt.Printf("%s %s on %s (%s, %d B budget)\n", *engine, *algo, *in, kind, *budget)
+	fmt.Printf("  iterations:   %d\n", iterations)
+	fmt.Printf("  modeled time: %v (compute %v, IO %v)\n", clock.Total(), clock.TotalCompute(), clock.TotalIO())
+	fmt.Printf("  device:       %v\n", dev.Stats())
+	fmt.Printf("  energy:       %s\n", rep)
+	printTop(values, *top)
+}
+
+// importDOS copies graphz-convert's exported files onto the device under
+// the prefix "g" so the run can skip conversion.
+func importDOS(dev *storage.Device, prefix string) error {
+	for hostSuffix, devName := range map[string]string{
+		".edges": "g.edges", ".meta": "g.meta",
+		".new2old": "g.new2old", ".old2new": "g.old2new",
+	} {
+		data, err := os.ReadFile(prefix + hostSuffix)
+		if err != nil {
+			return err
+		}
+		if err := storage.WriteAll(dev, devName, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runGraphZ preprocesses to DOS (or loads a pre-converted graph) and runs
+// the algorithm, returning values keyed by original IDs.
+func runGraphZ(dev *storage.Device, clock *sim.Clock, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj bool) (int, map[graph.VertexID]float64, error) {
+	var g *dos.Graph
+	var err error
+	if preconverted {
+		g, err = dos.Load(dev, "g")
+	} else {
+		g, err = dos.Convert(dos.ConvertConfig{Dev: dev, Clock: clock, MemoryBudget: budget / 4}, "raw", "g")
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	o2n, err := g.OldToNew()
+	if err != nil {
+		return 0, nil, err
+	}
+	n2o, err := g.NewToOld()
+	if err != nil {
+		return 0, nil, err
+	}
+	opts := core.Options{
+		MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
+		ParallelDrain: pdrain, CacheAdjacency: cacheAdj,
+	}
+	var res core.Result
+	var vals []float64
+	collect32 := func(v []float32) {
+		vals = make([]float64, len(v))
+		for i, x := range v {
+			vals[i] = float64(x)
+		}
+	}
+	collectU := func(v []uint32) {
+		vals = make([]float64, len(v))
+		for i, x := range v {
+			vals[i] = float64(x)
+		}
+	}
+	switch algo {
+	case "pr":
+		r, v, err := graphzalgo.PageRank(g, opts, iters, 0.85)
+		if err != nil {
+			return 0, nil, err
+		}
+		res = r
+		collect32(v)
+	case "bfs":
+		r, v, err := graphzalgo.BFS(g, opts, o2n[src])
+		if err != nil {
+			return 0, nil, err
+		}
+		res = r
+		collectU(v)
+	case "cc":
+		r, v, err := graphzalgo.ConnectedComponents(g, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		res = r
+		collectU(v)
+	case "sssp":
+		r, v, err := graphzalgo.SSSP(g, opts, o2n[src])
+		if err != nil {
+			return 0, nil, err
+		}
+		res = r
+		collect32(v)
+	case "bp":
+		r, v, err := graphzalgo.BeliefPropagation(g, opts, iters)
+		if err != nil {
+			return 0, nil, err
+		}
+		res = r
+		collect32(v)
+	case "rw":
+		r, v, err := graphzalgo.RandomWalk(g, opts, iters, 1)
+		if err != nil {
+			return 0, nil, err
+		}
+		res = r
+		collectU(v)
+	default:
+		return 0, nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	out := make(map[graph.VertexID]float64, len(vals))
+	for newID, val := range vals {
+		out[n2o[newID]] = val
+	}
+	return res.Iterations, out, nil
+}
+
+// runGraphChi shards and runs the algorithm.
+func runGraphChi(dev *storage.Device, clock *sim.Clock, algo string, budget int64, iters int, src graph.VertexID) (int, map[graph.VertexID]float64, error) {
+	evalSize := 4
+	if algo == "bp" {
+		evalSize = 8
+	}
+	sh, err := graphchi.Shard(graphchi.ShardConfig{Dev: dev, Clock: clock, MemoryBudget: budget, EdgeValSize: evalSize}, "raw", "g")
+	if err != nil {
+		return 0, nil, err
+	}
+	opts := graphchi.Options{MemoryBudget: budget, Clock: clock, MaxIterations: 200}
+	var res graphchi.Result
+	var vals []float64
+	switch algo {
+	case "pr":
+		r, v, err := chialgo.PageRank(sh, opts, iters, 0.85)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widen32(v)
+	case "bfs":
+		r, v, err := chialgo.BFS(sh, opts, src)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widenU(v)
+	case "cc":
+		r, v, err := chialgo.ConnectedComponents(sh, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widenU(v)
+	case "sssp":
+		r, v, err := chialgo.SSSP(sh, opts, src)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widen32(v)
+	case "bp":
+		r, v, err := chialgo.BeliefPropagation(sh, opts, iters)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widen32(v)
+	case "rw":
+		r, v, err := chialgo.RandomWalk(sh, opts, iters, 1)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widenU(v)
+	default:
+		return 0, nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return res.Iterations, identityMap(vals), nil
+}
+
+// runXStream partitions and runs the algorithm.
+func runXStream(dev *storage.Device, clock *sim.Clock, algo string, budget int64, iters int, src graph.VertexID) (int, map[graph.VertexID]float64, error) {
+	pt, err := xstream.Partition(xstream.PartitionConfig{Dev: dev, Clock: clock, MemoryBudget: budget}, "raw", "g")
+	if err != nil {
+		return 0, nil, err
+	}
+	opts := xstream.Options{MemoryBudget: budget, Clock: clock, MaxIterations: 200}
+	var res xstream.Result
+	var vals []float64
+	switch algo {
+	case "pr":
+		r, v, err := xsalgo.PageRank(pt, opts, iters, 0.85)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widen32(v)
+	case "bfs":
+		r, v, err := xsalgo.BFS(pt, opts, src)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widenU(v)
+	case "cc":
+		r, v, err := xsalgo.ConnectedComponents(pt, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widenU(v)
+	case "sssp":
+		r, v, err := xsalgo.SSSP(pt, opts, src)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widen32(v)
+	case "bp":
+		r, v, err := xsalgo.BeliefPropagation(pt, opts, iters)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widen32(v)
+	case "rw":
+		r, v, err := xsalgo.RandomWalk(pt, opts, iters, 1)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, vals = r, widenU(v)
+	default:
+		return 0, nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return res.Iterations, identityMap(vals), nil
+}
+
+func widen32(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func widenU(v []uint32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func identityMap(vals []float64) map[graph.VertexID]float64 {
+	out := make(map[graph.VertexID]float64, len(vals))
+	for i, v := range vals {
+		out[graph.VertexID(i)] = v
+	}
+	return out
+}
+
+func maxDegree(edges []graph.Edge) graph.VertexID {
+	deg := map[graph.VertexID]int{}
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	var best graph.VertexID
+	bestDeg := -1
+	for v, d := range deg {
+		if d > bestDeg || (d == bestDeg && v < best) {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+func printTop(values map[graph.VertexID]float64, n int) {
+	type kv struct {
+		id  graph.VertexID
+		val float64
+	}
+	list := make([]kv, 0, len(values))
+	for id, v := range values {
+		list = append(list, kv{id, v})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].val != list[j].val {
+			return list[i].val > list[j].val
+		}
+		return list[i].id < list[j].id
+	})
+	if n > len(list) {
+		n = len(list)
+	}
+	fmt.Printf("  top %d vertices by value:\n", n)
+	for _, e := range list[:n] {
+		fmt.Printf("    vertex %-10d %g\n", e.id, e.val)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphz-run:", err)
+	os.Exit(1)
+}

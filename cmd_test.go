@@ -1,0 +1,88 @@
+package graphz_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools builds the CLIs and chains them end to end:
+// generate a graph, convert it to degree-ordered storage, and run two
+// engines on it.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI binaries")
+	}
+	dir := t.TempDir()
+
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	gen := build("graphz-gen")
+	convert := build("graphz-convert")
+	run := build("graphz-run")
+
+	graphFile := filepath.Join(dir, "g.bin")
+	out, err := exec.Command(gen, "-kind", "rmat", "-scale", "10", "-edges", "20000",
+		"-seed", "3", "-out", graphFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("graphz-gen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "unique degrees") {
+		t.Errorf("gen output missing summary: %s", out)
+	}
+
+	out, err = exec.Command(convert, "-in", graphFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("graphz-convert: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "vertex index") {
+		t.Errorf("convert output missing index stats: %s", out)
+	}
+	for _, suffix := range []string{".edges", ".meta", ".new2old", ".old2new"} {
+		if _, err := os.Stat(filepath.Join(dir, "g.dos"+suffix)); err != nil {
+			t.Errorf("converted file missing: %v", err)
+		}
+	}
+
+	for _, engine := range []string{"graphz", "xstream", "graphchi"} {
+		out, err = exec.Command(run, "-in", graphFile, "-algo", "pr",
+			"-engine", engine, "-iters", "5", "-budget", "4194304").CombinedOutput()
+		if err != nil {
+			t.Fatalf("graphz-run %s: %v\n%s", engine, err, out)
+		}
+		if !strings.Contains(string(out), "top 5 vertices") {
+			t.Errorf("%s run output missing results: %s", engine, out)
+		}
+	}
+
+	// BFS through the run tool with an explicit source.
+	out, err = exec.Command(run, "-in", graphFile, "-algo", "bfs",
+		"-engine", "graphz", "-source", "0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("graphz-run bfs: %v\n%s", err, out)
+	}
+
+	// Reuse the pre-converted DOS files instead of reconverting.
+	out, err = exec.Command(run, "-in", graphFile, "-dos", filepath.Join(dir, "g.dos"),
+		"-algo", "pr", "-iters", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("graphz-run -dos: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "top 5 vertices") {
+		t.Errorf("-dos run output missing results: %s", out)
+	}
+
+	// Unknown engine errors out.
+	if _, err := exec.Command(run, "-in", graphFile, "-engine", "bogus").CombinedOutput(); err == nil {
+		t.Error("bogus engine should fail")
+	}
+}

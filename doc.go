@@ -1,0 +1,14 @@
+// Package graphz is a from-scratch Go reproduction of "GraphZ: Improving
+// the Performance of Large-Scale Graph Analytics on Small-Scale Machines"
+// (Zhou & Hoffmann, ICDE 2018): an out-of-core graph analytics framework
+// built on degree-ordered storage and ordered dynamic messages, together
+// with GraphChi-class and X-Stream-class baselines, six benchmark
+// algorithms per engine, a simulated HDD/SSD storage substrate, and a
+// harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// The implementation lives under internal/; the runnable entry points are
+// the commands under cmd/ and the examples under examples/. See README.md
+// for a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-versus-measured results.
+package graphz

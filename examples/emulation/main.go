@@ -1,0 +1,81 @@
+// Emulation: run an unmodified GraphChi-style program on the GraphZ
+// engine through the paper's Section IV-E construction — the executable
+// form of the claim that GraphZ is at least as expressive as GraphChi.
+// The program below communicates through mutable edge values (GraphChi's
+// model); the adapter turns every edge value into an ordered dynamic
+// message that appends to the destination's in-edge list.
+//
+//	go run ./examples/emulation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphz/internal/core"
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+	"graphz/internal/storage"
+)
+
+// chiDegreeSum is written against the GraphChi API: each vertex publishes
+// its own out-degree on its out-edges, and after one exchange every
+// vertex sums its in-neighbors' degrees — a "how connected are my
+// followers" metric that reads in-edges and writes out-edges.
+type chiDegreeSum struct{}
+
+func (chiDegreeSum) Init(id graph.VertexID, inDeg, outDeg uint32) uint32 { return outDeg }
+
+func (chiDegreeSum) InitEdge(src, dst graph.VertexID) uint32 { return 0 }
+
+func (chiDegreeSum) Update(ctx *graphchi.Context, id graph.VertexID, v *uint32,
+	in, out []graphchi.EdgeRef[uint32]) {
+	if ctx.Iteration() == 1 {
+		var sum uint32
+		for _, e := range in {
+			sum += *e.Val
+		}
+		*v = sum
+	}
+	if ctx.Iteration() == 0 {
+		for _, e := range out {
+			*e.Val = *v // publish my out-degree
+		}
+		ctx.MarkActive()
+	}
+}
+
+func main() {
+	edges := gen.Zipf(5_000, 40_000, 0.9, 11)
+	dev := storage.NewDevice(storage.SSD, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		log.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "emu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout := core.DOSLayout(g)
+	inDeg, err := core.InDegrees(layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, vals, err := core.EmulateGraphChi[uint32, uint32](layout, chiDegreeSum{},
+		graph.Uint32Codec{}, graph.Uint32Codec{}, inDeg,
+		core.Options{MemoryBudget: 64 << 20, DynamicMessages: true, MaxIterations: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran a GraphChi program on the GraphZ engine: %d iterations, %d messages\n",
+		res.Iterations, res.MessagesSent)
+
+	// Show the best-connected followings (degree-ordered ID space puts
+	// hubs first).
+	fmt.Println("follower-connectivity of the top hubs:")
+	for v := 0; v < 5 && v < len(vals); v++ {
+		fmt.Printf("  hub %d: followers' degrees sum to %d\n", v, vals[v])
+	}
+}

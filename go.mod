@@ -1,0 +1,3 @@
+module graphz
+
+go 1.22

@@ -1,0 +1,47 @@
+package chialgo
+
+import (
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+)
+
+// Unreached marks a vertex BFS has not visited.
+const Unreached = uint32(0xFFFFFFFF)
+
+// bfsProgram proposes levels through edge values: an out-edge holds
+// src.level+1 once src is reached, and each update takes the minimum of
+// its in-edge proposals.
+type bfsProgram struct {
+	source graph.VertexID
+}
+
+func (p bfsProgram) Init(id graph.VertexID, inDeg, outDeg uint32) uint32 {
+	if id == p.source {
+		return 0
+	}
+	return Unreached
+}
+
+func (bfsProgram) InitEdge(src, dst graph.VertexID) uint32 { return Unreached }
+
+func (p bfsProgram) Update(ctx *graphchi.Context, id graph.VertexID, v *uint32, in, out []graphchi.EdgeRef[uint32]) {
+	newLevel := *v
+	for _, e := range in {
+		if *e.Val < newLevel {
+			newLevel = *e.Val
+		}
+	}
+	changed := newLevel < *v
+	*v = newLevel
+	if changed || (ctx.Iteration() == 0 && id == p.source) {
+		ctx.MarkActive()
+		for _, e := range out {
+			*e.Val = *v + 1
+		}
+	}
+}
+
+// BFS computes hop counts from source along out-edges until quiescent.
+func BFS(sh *graphchi.Shards, opts graphchi.Options, source graph.VertexID) (graphchi.Result, []uint32, error) {
+	return run[uint32, uint32](sh, bfsProgram{source: source}, graph.Uint32Codec{}, graph.Uint32Codec{}, opts)
+}

@@ -1,0 +1,127 @@
+package chialgo
+
+import (
+	"encoding/binary"
+	"math"
+
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+)
+
+// Belief propagation in the GraphChi model: each directed edge carries
+// the latest two-state log-message from its source; updates fold in-edge
+// messages into a normalized belief and refresh every out-edge message.
+// Priors and couplings are the shared hash-derived ones.
+
+type bpMsg struct {
+	M0, M1 float32
+}
+
+type bpMsgCodec struct{}
+
+func (bpMsgCodec) Size() int { return 8 }
+
+func (bpMsgCodec) Encode(b []byte, m bpMsg) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(m.M0))
+	binary.LittleEndian.PutUint32(b[4:], math.Float32bits(m.M1))
+}
+
+func (bpMsgCodec) Decode(b []byte) bpMsg {
+	return bpMsg{
+		M0: math.Float32frombits(binary.LittleEndian.Uint32(b)),
+		M1: math.Float32frombits(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+type bpVal struct {
+	B0, B1 float32
+}
+
+type bpValCodec struct{}
+
+func (bpValCodec) Size() int { return 8 }
+
+func (bpValCodec) Encode(b []byte, v bpVal) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v.B0))
+	binary.LittleEndian.PutUint32(b[4:], math.Float32bits(v.B1))
+}
+
+func (bpValCodec) Decode(b []byte) bpVal {
+	return bpVal{
+		B0: math.Float32frombits(binary.LittleEndian.Uint32(b)),
+		B1: math.Float32frombits(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+func bpPrior(id graph.VertexID) (float32, float32) {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	p := 0.2 + 0.6*float64(x&0xFFFFFF)/float64(1<<24)
+	return float32(math.Log(p)), float32(math.Log(1 - p))
+}
+
+func logAdd(a, b float32) float32 {
+	if a < b {
+		a, b = b, a
+	}
+	return a + float32(math.Log1p(math.Exp(float64(b-a))))
+}
+
+type bpProgram struct{}
+
+func (bpProgram) Init(id graph.VertexID, inDeg, outDeg uint32) bpVal {
+	p0, p1 := bpPrior(id)
+	return bpVal{B0: p0, B1: p1}
+}
+
+func (bpProgram) InitEdge(src, dst graph.VertexID) bpMsg { return bpMsg{} }
+
+func (bpProgram) Update(ctx *graphchi.Context, id graph.VertexID, v *bpVal, in, out []graphchi.EdgeRef[bpMsg]) {
+	ctx.MarkActive() // fixed-iteration algorithm; MaxIterations stops it
+	if ctx.Iteration() > 0 {
+		p0, p1 := bpPrior(id)
+		n0, n1 := p0, p1
+		for _, e := range in {
+			n0 += e.Val.M0
+			n1 += e.Val.M1
+		}
+		// Damped update (lambda = 0.5), as in the other engines.
+		z := logAdd(n0, n1)
+		b0 := 0.5*(n0-z) + 0.5*v.B0
+		b1 := 0.5*(n1-z) + 0.5*v.B1
+		z = logAdd(b0, b1)
+		v.B0, v.B1 = b0-z, b1-z
+	}
+	for _, e := range out {
+		c := graph.EdgeCoupling(id, e.Neighbor)
+		same := float32(math.Log(c))
+		diff := float32(math.Log(1 - c))
+		m0 := logAdd(v.B0+same, v.B1+diff)
+		m1 := logAdd(v.B0+diff, v.B1+same)
+		z := logAdd(m0, m1)
+		e.Val.M0, e.Val.M1 = m0-z, m1-z
+	}
+}
+
+// BeliefPropagation runs loopy BP for the given iterations, returning
+// each vertex's marginal probability of state 1.
+func BeliefPropagation(sh *graphchi.Shards, opts graphchi.Options, iterations int) (graphchi.Result, []float32, error) {
+	opts.MaxIterations = iterations
+	res, vals, err := run[bpVal, bpMsg](sh, bpProgram{}, bpValCodec{}, bpMsgCodec{}, opts)
+	if err != nil {
+		return graphchi.Result{}, nil, err
+	}
+	marg := make([]float32, len(vals))
+	for i, v := range vals {
+		m := v.B0
+		if v.B1 > m {
+			m = v.B1
+		}
+		e0 := math.Exp(float64(v.B0 - m))
+		e1 := math.Exp(float64(v.B1 - m))
+		marg[i] = float32(e1 / (e0 + e1))
+	}
+	return res, marg, nil
+}

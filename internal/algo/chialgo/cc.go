@@ -1,0 +1,39 @@
+package chialgo
+
+import (
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+)
+
+// ccProgram propagates minimum labels through edge values. Symmetrize the
+// graph for weakly-connected components.
+type ccProgram struct{}
+
+func (ccProgram) Init(id graph.VertexID, inDeg, outDeg uint32) uint32 { return uint32(id) }
+
+func (ccProgram) InitEdge(src, dst graph.VertexID) uint32 { return 0xFFFFFFFF }
+
+func (ccProgram) Update(ctx *graphchi.Context, id graph.VertexID, v *uint32, in, out []graphchi.EdgeRef[uint32]) {
+	newLabel := *v
+	for _, e := range in {
+		if *e.Val < newLabel {
+			newLabel = *e.Val
+		}
+	}
+	changed := newLabel < *v
+	*v = newLabel
+	if changed || ctx.Iteration() == 0 {
+		if changed {
+			ctx.MarkActive()
+		}
+		for _, e := range out {
+			*e.Val = *v
+		}
+	}
+}
+
+// ConnectedComponents labels each vertex with the smallest ID that
+// reaches it, running until quiescent.
+func ConnectedComponents(sh *graphchi.Shards, opts graphchi.Options) (graphchi.Result, []uint32, error) {
+	return run[uint32, uint32](sh, ccProgram{}, graph.Uint32Codec{}, graph.Uint32Codec{}, opts)
+}

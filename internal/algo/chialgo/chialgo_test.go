@@ -1,0 +1,146 @@
+package chialgo
+
+import (
+	"math"
+	"testing"
+
+	"graphz/internal/algo/plain"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+	"graphz/internal/storage"
+)
+
+// shard builds GraphChi shards for edges on a fresh null device.
+func shard(t *testing.T, edges []graph.Edge, evalSize, nShards int) *graphchi.Shards {
+	t.Helper()
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := graphchi.Shard(graphchi.ShardConfig{Dev: dev, EdgeValSize: evalSize, NumShards: nShards}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func opts() graphchi.Options { return graphchi.Options{MemoryBudget: 64 << 20} }
+
+func TestPageRankMatchesPlainFixpoint(t *testing.T) {
+	edges := gen.RMAT(8, 2000, gen.NaturalRMAT, 111)
+	n := int(graph.MaxID(edges)) + 1
+	want := plain.PageRank(plain.BuildAdjacency(n, edges), 100, 0.85)
+	for _, shards := range []int{1, 4} {
+		sh := shard(t, edges, 4, shards)
+		_, ranks, err := PageRank(sh, opts(), 50, 0.85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if math.Abs(float64(ranks[v])-want[v]) > 1e-3*(1+want[v]) {
+				t.Fatalf("shards=%d: rank[%d] = %v, want %v", shards, v, ranks[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSMatchesPlain(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 112)
+	n := int(graph.MaxID(edges)) + 1
+	adj := plain.BuildAdjacency(n, edges)
+	src := graph.VertexID(0)
+	want := plain.BFS(adj, src)
+	for _, shards := range []int{1, 3} {
+		sh := shard(t, edges, 4, shards)
+		_, levels, err := BFS(sh, opts(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if levels[v] != want[v] {
+				t.Fatalf("shards=%d: level[%d] = %d, want %d", shards, v, levels[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCCMatchesPlain(t *testing.T) {
+	base := gen.RMAT(7, 600, gen.NaturalRMAT, 113)
+	var edges []graph.Edge
+	for _, e := range base {
+		edges = append(edges, e, graph.Edge{Src: e.Dst, Dst: e.Src})
+	}
+	n := int(graph.MaxID(edges)) + 1
+	want := plain.ConnectedComponents(plain.BuildAdjacency(n, edges))
+	sh := shard(t, edges, 4, 3)
+	res, labels, err := ConnectedComponents(sh, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, labels[v], want[v])
+		}
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations")
+	}
+}
+
+func TestSSSPMatchesPlain(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 114)
+	n := int(graph.MaxID(edges)) + 1
+	src := graph.VertexID(1)
+	want := plain.SSSP(plain.BuildAdjacency(n, edges), src)
+	sh := shard(t, edges, 4, 3)
+	_, dists, err := SSSP(sh, opts(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		wv, gv := float64(want[v]), float64(dists[v])
+		if math.IsInf(wv, 1) != math.IsInf(gv, 1) || (!math.IsInf(wv, 1) && math.Abs(gv-wv) > 1e-4) {
+			t.Fatalf("dist[%d] = %v, want %v", v, gv, wv)
+		}
+	}
+}
+
+func TestBPMarginalsSane(t *testing.T) {
+	edges := gen.RMAT(7, 700, gen.NaturalRMAT, 115)
+	sh := shard(t, edges, 8, 2)
+	_, marg, err := BeliefPropagation(sh, opts(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range marg {
+		if !(p >= 0 && p <= 1) || math.IsNaN(float64(p)) {
+			t.Fatalf("marginal[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestRWDeterministicAndBounded(t *testing.T) {
+	edges := gen.RMAT(7, 700, gen.NaturalRMAT, 116)
+	sh := shard(t, edges, 4, 2)
+	_, v1, err := RandomWalk(sh, opts(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2 := shard(t, edges, 4, 2)
+	_, v2, err := RandomWalk(sh2, opts(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("random walk not deterministic")
+		}
+		sum += int64(v1[i])
+	}
+	n := int64(sh.NumVertices)
+	if sum < n*2 || sum > n*2*5*2 {
+		t.Errorf("total visits %d outside sane bounds", sum)
+	}
+}

@@ -1,0 +1,28 @@
+// Package chialgo implements the six benchmark algorithms in the
+// GraphChi-style model (vertex values plus mutable edge values; paper
+// Section IV-E shows the correspondence to GraphZ programs). One file per
+// algorithm for the LOC comparisons of Tables I and IX.
+package chialgo
+
+import (
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+)
+
+// run wires a program into the GraphChi engine and executes it.
+func run[V, E any](sh *graphchi.Shards, prog graphchi.Program[V, E], vc graph.Codec[V], ec graph.Codec[E], opts graphchi.Options) (graphchi.Result, []V, error) {
+	eng, err := graphchi.New[V, E](sh, prog, vc, ec, opts)
+	if err != nil {
+		return graphchi.Result{}, nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return graphchi.Result{}, nil, err
+	}
+	vals, err := eng.Values()
+	if err != nil {
+		return graphchi.Result{}, nil, err
+	}
+	eng.Cleanup()
+	return res, vals, nil
+}

@@ -1,0 +1,43 @@
+package chialgo
+
+import (
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+)
+
+// prProgram carries votes on edge values: each update folds the in-edge
+// votes into a damped rank and writes rank/outdeg onto every out-edge.
+type prProgram struct {
+	damping float32
+}
+
+func (prProgram) Init(id graph.VertexID, inDeg, outDeg uint32) float32 { return 1 }
+
+func (prProgram) InitEdge(src, dst graph.VertexID) float32 { return 0 }
+
+func (p prProgram) Update(ctx *graphchi.Context, id graph.VertexID, v *float32, in, out []graphchi.EdgeRef[float32]) {
+	// PageRank runs for a fixed iteration count (MaxIterations); stay
+	// active so the engine's quiescence check never fires early.
+	ctx.MarkActive()
+	if ctx.Iteration() > 0 {
+		var votes float32
+		for _, e := range in {
+			votes += *e.Val
+		}
+		*v = (1 - p.damping) + p.damping*votes
+	}
+	if len(out) == 0 {
+		return
+	}
+	share := *v / float32(len(out))
+	for _, e := range out {
+		*e.Val = share
+	}
+}
+
+// PageRank runs damped PageRank for the given iterations, returning ranks
+// by natural vertex ID.
+func PageRank(sh *graphchi.Shards, opts graphchi.Options, iterations int, damping float32) (graphchi.Result, []float32, error) {
+	opts.MaxIterations = iterations
+	return run[float32, float32](sh, prProgram{damping: damping}, graph.Float32Codec{}, graph.Float32Codec{}, opts)
+}

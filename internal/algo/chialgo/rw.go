@@ -1,0 +1,106 @@
+package chialgo
+
+import (
+	"encoding/binary"
+
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+)
+
+// Random walk in the GraphChi model: each out-edge value carries the
+// walker count moving along it this step; updates gather arriving
+// walkers from in-edges, count visits, and redistribute (even split,
+// hash-rotated remainder, dead-end walkers rest in the vertex).
+
+type rwVal struct {
+	Resting uint32 // walkers stuck at a dead end
+	Visits  uint32
+	Started bool // initial walkers already injected
+}
+
+type rwValCodec struct{}
+
+func (rwValCodec) Size() int { return 12 }
+
+func (rwValCodec) Encode(b []byte, v rwVal) {
+	binary.LittleEndian.PutUint32(b, v.Resting)
+	binary.LittleEndian.PutUint32(b[4:], v.Visits)
+	var s uint32
+	if v.Started {
+		s = 1
+	}
+	binary.LittleEndian.PutUint32(b[8:], s)
+}
+
+func (rwValCodec) Decode(b []byte) rwVal {
+	return rwVal{
+		Resting: binary.LittleEndian.Uint32(b),
+		Visits:  binary.LittleEndian.Uint32(b[4:]),
+		Started: binary.LittleEndian.Uint32(b[8:]) == 1,
+	}
+}
+
+func rwHash(id graph.VertexID, iter int) uint64 {
+	x := uint64(id)<<32 ^ uint64(uint32(iter))
+	x = (x ^ (x >> 33)) * 0xff51afd7ed558ccd
+	x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+type rwProgram struct {
+	perVertex uint32
+}
+
+func (rwProgram) Init(id graph.VertexID, inDeg, outDeg uint32) rwVal { return rwVal{} }
+
+func (rwProgram) InitEdge(src, dst graph.VertexID) uint32 { return 0 }
+
+func (p rwProgram) Update(ctx *graphchi.Context, id graph.VertexID, v *rwVal, in, out []graphchi.EdgeRef[uint32]) {
+	ctx.MarkActive() // fixed-iteration algorithm; MaxIterations stops it
+	walkers := v.Resting
+	v.Resting = 0
+	for _, e := range in {
+		walkers += *e.Val
+	}
+	if !v.Started {
+		walkers += p.perVertex
+		v.Started = true
+	}
+	if walkers == 0 {
+		for _, e := range out {
+			*e.Val = 0
+		}
+		return
+	}
+	v.Visits += walkers
+	ndeg := uint32(len(out))
+	if ndeg == 0 {
+		v.Resting = walkers
+		return
+	}
+	base := walkers / ndeg
+	extra := walkers % ndeg
+	start := uint32(rwHash(id, ctx.Iteration()) % uint64(ndeg))
+	for i, e := range out {
+		n := base
+		if d := (uint32(i) + ndeg - start) % ndeg; d < extra {
+			n++
+		}
+		*e.Val = n
+	}
+}
+
+// RandomWalk runs the given number of steps with walkersPerVertex walkers
+// starting everywhere, returning per-vertex visit counts.
+func RandomWalk(sh *graphchi.Shards, opts graphchi.Options, iterations int, walkersPerVertex uint32) (graphchi.Result, []uint32, error) {
+	opts.MaxIterations = iterations
+	res, vals, err := run[rwVal, uint32](sh, rwProgram{perVertex: walkersPerVertex}, rwValCodec{}, graph.Uint32Codec{}, opts)
+	if err != nil {
+		return graphchi.Result{}, nil, err
+	}
+	visits := make([]uint32, len(vals))
+	for i, v := range vals {
+		visits[i] = v.Visits
+	}
+	return res, visits, nil
+}

@@ -1,0 +1,48 @@
+package chialgo
+
+import (
+	"math"
+
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+)
+
+// ssspProgram relaxes hash-weighted edges through edge values: an
+// out-edge holds src.dist + w(src,dst) once src is settled.
+type ssspProgram struct {
+	source graph.VertexID
+}
+
+var inf32 = float32(math.Inf(1))
+
+func (p ssspProgram) Init(id graph.VertexID, inDeg, outDeg uint32) float32 {
+	if id == p.source {
+		return 0
+	}
+	return inf32
+}
+
+func (ssspProgram) InitEdge(src, dst graph.VertexID) float32 { return inf32 }
+
+func (p ssspProgram) Update(ctx *graphchi.Context, id graph.VertexID, v *float32, in, out []graphchi.EdgeRef[float32]) {
+	newDist := *v
+	for _, e := range in {
+		if *e.Val < newDist {
+			newDist = *e.Val
+		}
+	}
+	changed := newDist < *v
+	*v = newDist
+	if changed || (ctx.Iteration() == 0 && id == p.source) {
+		ctx.MarkActive()
+		for _, e := range out {
+			*e.Val = *v + graph.EdgeWeight(id, e.Neighbor)
+		}
+	}
+}
+
+// SSSP computes shortest-path distances from source with hash-derived
+// weights, running until quiescent.
+func SSSP(sh *graphchi.Shards, opts graphchi.Options, source graph.VertexID) (graphchi.Result, []float32, error) {
+	return run[float32, float32](sh, ssspProgram{source: source}, graph.Float32Codec{}, graph.Float32Codec{}, opts)
+}

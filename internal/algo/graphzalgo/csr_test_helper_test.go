@@ -1,0 +1,16 @@
+package graphzalgo
+
+import (
+	"graphz/internal/core"
+	"graphz/internal/csr"
+	"graphz/internal/storage"
+)
+
+// buildCSR builds a CSR layout for ablation tests.
+func buildCSR(dev *storage.Device, edgeFile, prefix string) (core.Layout, error) {
+	g, err := csr.Build(csr.BuildConfig{Dev: dev}, edgeFile, prefix)
+	if err != nil {
+		return nil, err
+	}
+	return core.CSRLayout(g), nil
+}

@@ -1,0 +1,339 @@
+package graphzalgo
+
+import (
+	"math"
+	"testing"
+
+	"graphz/internal/algo/plain"
+	"graphz/internal/core"
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// fixture converts a generated graph and returns it with its relabeled
+// edges (new-ID space) for the plain references.
+type fixture struct {
+	g     *dos.Graph
+	adj   *plain.Adjacency
+	edges []graph.Edge // relabeled
+}
+
+func newFixture(t *testing.T, edges []graph.Edge) *fixture {
+	t.Helper()
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2n, err := g.OldToNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		rel[i] = graph.Edge{Src: o2n[e.Src], Dst: o2n[e.Dst]}
+	}
+	return &fixture{g: g, adj: plain.BuildAdjacency(g.NumVertices, rel), edges: rel}
+}
+
+func bigOpts() core.Options {
+	return core.Options{MemoryBudget: 64 << 20, DynamicMessages: true}
+}
+
+// tightOpts forces several partitions so cross-partition messaging is
+// exercised.
+func tightOpts(g *dos.Graph, vsize int) core.Options {
+	vertexBytes := int64(g.NumVertices) * int64(vsize)
+	return core.Options{
+		// pipeline overhead (6 blocks) + index + a third of the
+		// vertex state + message buffers
+		MemoryBudget:    6*storage.DefaultBlockSize + g.IndexBytes() + vertexBytes/3 + 4*256,
+		DynamicMessages: true,
+		MsgBufferBytes:  256,
+	}
+}
+
+func TestPageRankConvergesToPlainFixpoint(t *testing.T) {
+	f := newFixture(t, gen.RMAT(9, 4000, gen.NaturalRMAT, 31))
+	// The plain fixpoint after many synchronous iterations.
+	want := plain.PageRank(f.adj, 100, 0.85)
+	for _, opts := range []core.Options{bigOpts(), tightOpts(f.g, 8)} {
+		res, ranks, err := PageRank(f.g, opts, 60, 0.85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != 60 {
+			t.Errorf("iterations = %d, want 60", res.Iterations)
+		}
+		for i := range want {
+			got := float64(ranks[i])
+			if math.Abs(got-want[i]) > 1e-3*(1+want[i]) {
+				t.Fatalf("partitions=%d: rank[%d] = %v, want %v", res.Partitions, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestPageRankMassSane(t *testing.T) {
+	f := newFixture(t, gen.Zipf(500, 5000, 0.8, 32))
+	_, ranks, err := PageRank(f.g, bigOpts(), 30, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range ranks {
+		if r < 0.1499 {
+			t.Fatalf("rank %v below the (1-d) floor", r)
+		}
+		sum += float64(r)
+	}
+	// Unnormalized PR sums to at most N (dangling mass leaks).
+	if sum <= 0 || sum > float64(f.g.NumVertices)+1 {
+		t.Errorf("total rank mass = %v for %d vertices", sum, f.g.NumVertices)
+	}
+}
+
+func TestBFSMatchesPlain(t *testing.T) {
+	f := newFixture(t, gen.RMAT(9, 3000, gen.NaturalRMAT, 33))
+	source := graph.VertexID(0) // highest-degree vertex in new-ID space
+	want := plain.BFS(f.adj, source)
+	for _, opts := range []core.Options{bigOpts(), tightOpts(f.g, 8)} {
+		res, levels, err := BFS(f.g, opts, source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if levels[i] != want[i] {
+				t.Fatalf("partitions=%d: level[%d] = %d, want %d", res.Partitions, i, levels[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBFSUnreachedStaysUnreached(t *testing.T) {
+	// Two disjoint edges; source reaches only one side.
+	f := newFixture(t, []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}})
+	_, levels, err := BFS(f.g, bigOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached := 0
+	for _, l := range levels {
+		if l != Unreached {
+			reached++
+		}
+	}
+	if reached != 2 {
+		t.Errorf("reached %d vertices, want 2 (source + one neighbor)", reached)
+	}
+}
+
+func TestConnectedComponentsMatchesPlain(t *testing.T) {
+	// Symmetrize for weakly-connected components, as the harness does.
+	base := gen.RMAT(8, 1200, gen.NaturalRMAT, 34)
+	var edges []graph.Edge
+	for _, e := range base {
+		edges = append(edges, e, graph.Edge{Src: e.Dst, Dst: e.Src})
+	}
+	f := newFixture(t, edges)
+	want := plain.ConnectedComponents(f.adj)
+	for _, opts := range []core.Options{bigOpts(), tightOpts(f.g, 8)} {
+		res, labels, err := ConnectedComponents(f.g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if labels[i] != want[i] {
+				t.Fatalf("partitions=%d: label[%d] = %d, want %d", res.Partitions, i, labels[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSSSPMatchesPlain(t *testing.T) {
+	f := newFixture(t, gen.RMAT(9, 3000, gen.NaturalRMAT, 35))
+	source := graph.VertexID(0)
+	want := plain.SSSP(f.adj, source)
+	for _, opts := range []core.Options{bigOpts(), tightOpts(f.g, 8)} {
+		res, dists, err := SSSP(f.g, opts, source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			wi, gi := float64(want[i]), float64(dists[i])
+			if math.IsInf(wi, 1) != math.IsInf(gi, 1) {
+				t.Fatalf("partitions=%d: dist[%d] = %v, want %v", res.Partitions, i, gi, wi)
+			}
+			if !math.IsInf(wi, 1) && math.Abs(gi-wi) > 1e-4 {
+				t.Fatalf("partitions=%d: dist[%d] = %v, want %v", res.Partitions, i, gi, wi)
+			}
+		}
+	}
+}
+
+func TestSSSPTriangleInequalitySpot(t *testing.T) {
+	// dist(source->v) <= dist(source->u) + w(u,v) for every edge.
+	f := newFixture(t, gen.Zipf(200, 2000, 0.7, 36))
+	_, dists, err := SSSP(f.g, bigOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range f.edges {
+		du, dv := float64(dists[e.Src]), float64(dists[e.Dst])
+		if math.IsInf(du, 1) {
+			continue
+		}
+		if dv > du+float64(graph.EdgeWeight(e.Src, e.Dst))+1e-4 {
+			t.Fatalf("relaxation missed on edge %v: %v > %v + w", e, dv, du)
+		}
+	}
+}
+
+func TestBeliefPropagationSanity(t *testing.T) {
+	f := newFixture(t, gen.RMAT(8, 1500, gen.NaturalRMAT, 37))
+	res, marg, err := BeliefPropagation(f.g, bigOpts(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 10 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	for i, p := range marg {
+		if !(p >= 0 && p <= 1) || math.IsNaN(float64(p)) {
+			t.Fatalf("marginal[%d] = %v outside [0,1]", i, p)
+		}
+	}
+	// Deterministic.
+	_, marg2, err := BeliefPropagation(f.g, bigOpts(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range marg {
+		if marg[i] != marg2[i] {
+			t.Fatal("BP not deterministic")
+		}
+	}
+	// Messages must actually move beliefs away from the prior-only
+	// marginals for connected vertices.
+	moved := false
+	prior := plain.BeliefPropagation(plain.BuildAdjacency(f.g.NumVertices, nil), 1)
+	for i := range marg {
+		if math.Abs(float64(marg[i]-prior[i])) > 1e-3 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("BP marginals identical to priors; messages had no effect")
+	}
+}
+
+func TestRandomWalkConservation(t *testing.T) {
+	f := newFixture(t, gen.RMAT(8, 1500, gen.NaturalRMAT, 38))
+	const perVertex = 4
+	total := uint32(f.g.NumVertices) * perVertex
+
+	// Single partition, dynamic messages: every send applies
+	// immediately, so conservation is exact.
+	final, err := RandomWalkFinalWalkers(f.g, bigOpts(), 5, perVertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint32
+	for _, w := range final {
+		sum += w
+	}
+	if sum != total {
+		t.Fatalf("walkers not conserved: %d, want %d", sum, total)
+	}
+
+	// Multi-partition: a MaxIterations stop can leave messages (and
+	// their walkers) in flight in the spilled message store, so the
+	// landed count is a lower bound that must never exceed the total.
+	final, err = RandomWalkFinalWalkers(f.g, tightOpts(f.g, 12), 5, perVertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = 0
+	for _, w := range final {
+		sum += w
+	}
+	if sum > total {
+		t.Fatalf("walkers multiplied: %d > %d", sum, total)
+	}
+	if sum < total/2 {
+		t.Fatalf("too many walkers in flight: %d of %d landed", sum, total)
+	}
+}
+
+func TestRandomWalkVisits(t *testing.T) {
+	f := newFixture(t, gen.RMAT(8, 1500, gen.NaturalRMAT, 39))
+	res, visits, err := RandomWalk(f.g, bigOpts(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 5 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	var sum int64
+	for _, v := range visits {
+		sum += int64(v)
+	}
+	// Every walker contributes at least one visit per iteration it is
+	// somewhere with walkers>0; at minimum the first iteration counts
+	// everyone once.
+	if sum < int64(f.g.NumVertices)*2 {
+		t.Errorf("total visits = %d, want >= %d", sum, f.g.NumVertices*2)
+	}
+	// Determinism.
+	_, visits2, err := RandomWalk(f.g, bigOpts(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if visits[i] != visits2[i] {
+			t.Fatal("random walk not deterministic")
+		}
+	}
+}
+
+func TestAblationLayoutsAgree(t *testing.T) {
+	// The same program over DOS and CSR layouts must compute the same
+	// answer (IDs differ; compare by original ID).
+	edges := gen.RMAT(8, 1200, gen.NaturalRMAT, 40)
+	f := newFixture(t, edges)
+
+	dev2 := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev2, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	cg, err := buildCSR(dev2, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	source := graph.VertexID(0)
+	_, dosLevels, err := BFS(f.g, bigOpts(), source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2o, err := f.g.NewToOld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSR keeps original IDs; the DOS source's original ID is n2o[0].
+	_, csrLevels, err := BFSLayout(cg, bigOpts(), n2o[source])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for newID, old := range n2o {
+		if dosLevels[newID] != csrLevels[old] {
+			t.Fatalf("vertex old=%d: DOS level %d, CSR level %d", old, dosLevels[newID], csrLevels[old])
+		}
+	}
+}

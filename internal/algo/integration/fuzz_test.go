@@ -1,0 +1,111 @@
+package integration
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphz/internal/algo/chialgo"
+	"graphz/internal/algo/graphzalgo"
+	"graphz/internal/algo/plain"
+	"graphz/internal/algo/xsalgo"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+)
+
+// TestQuickBFSAllEngines fuzzes BFS agreement across all three engines on
+// random graph shapes (power-law, uniform, with self-loops and duplicate
+// edges).
+func TestQuickBFSAllEngines(t *testing.T) {
+	check := func(seed uint64, shape uint8) bool {
+		var edges []graph.Edge
+		switch shape % 3 {
+		case 0:
+			edges = gen.RMAT(7, 400+int(seed%400), gen.NaturalRMAT, seed)
+		case 1:
+			edges = gen.ErdosRenyi(60+int(seed%100), 300, seed)
+		default:
+			edges = gen.Zipf(80+int(seed%80), 500, 0.8, seed)
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		w := buildWorld(t, edges, 4)
+		srcOld := w.n2o[0]
+		want := plain.BFS(w.adj, srcOld)
+
+		_, gz, err := graphzalgo.BFS(w.gz, gzOpts(), w.o2n[srcOld])
+		if err != nil {
+			t.Logf("graphz: %v", err)
+			return false
+		}
+		_, chi, err := chialgo.BFS(w.chi, chiOpts(), srcOld)
+		if err != nil {
+			t.Logf("graphchi: %v", err)
+			return false
+		}
+		_, xs, err := xsalgo.BFS(w.xs, xsOpts(), srcOld)
+		if err != nil {
+			t.Logf("xstream: %v", err)
+			return false
+		}
+		for old := 0; old < w.n; old++ {
+			if chi[old] != want[old] || xs[old] != want[old] {
+				return false
+			}
+			if newID := w.o2n[old]; newID != graph.NoVertex && gz[newID] != want[old] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCCPartitionsAgree fuzzes the component partition across
+// engines on random symmetrized graphs.
+func TestQuickCCPartitionsAgree(t *testing.T) {
+	check := func(seed uint64) bool {
+		base := gen.ErdosRenyi(50+int(seed%60), 60+int(seed%60), seed)
+		w := buildWorld(t, symmetrize(base), 4)
+		want := plain.ConnectedComponents(w.adj)
+		_, chi, err := chialgo.ConnectedComponents(w.chi, chiOpts())
+		if err != nil {
+			return false
+		}
+		_, xs, err := xsalgo.ConnectedComponents(w.xs, xsOpts())
+		if err != nil {
+			return false
+		}
+		for v := 0; v < w.n; v++ {
+			if chi[v] != want[v] || xs[v] != want[v] {
+				return false
+			}
+		}
+		// GraphZ: same-component relation must match.
+		_, gz, err := graphzalgo.ConnectedComponents(w.gz, gzOpts())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < w.n; i++ {
+			ni := w.o2n[i]
+			if ni == graph.NoVertex {
+				continue
+			}
+			for j := i + 1; j < w.n; j += 7 { // sampled pairs
+				nj := w.o2n[j]
+				if nj == graph.NoVertex {
+					continue
+				}
+				if (want[i] == want[j]) != (gz[ni] == gz[nj]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

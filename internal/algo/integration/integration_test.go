@@ -1,0 +1,379 @@
+// Package integration cross-checks the three engines (GraphZ, the
+// GraphChi-class baseline, and the X-Stream-class baseline) against each
+// other and against the plain in-memory references on shared inputs —
+// the correctness foundation under every performance comparison the
+// benchmark harness reports.
+package integration
+
+import (
+	"math"
+	"testing"
+
+	"graphz/internal/algo/chialgo"
+	"graphz/internal/algo/graphzalgo"
+	"graphz/internal/algo/plain"
+	"graphz/internal/algo/xsalgo"
+	"graphz/internal/core"
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/graphchi"
+	"graphz/internal/storage"
+	"graphz/internal/xstream"
+)
+
+// world holds one graph prepared for all three engines on separate
+// devices, with the ID mappings needed to compare results.
+type world struct {
+	edges []graph.Edge
+	gz    *dos.Graph
+	chi   *graphchi.Shards
+	xs    *xstream.Partitioned
+	n2o   []graph.VertexID // GraphZ new -> original
+	o2n   []graph.VertexID // original -> GraphZ new
+	adj   *plain.Adjacency // natural-ID adjacency for references
+	n     int              // natural dense vertex count (maxID+1)
+}
+
+func buildWorld(t *testing.T, edges []graph.Edge, evalSize int) *world {
+	t.Helper()
+	w := &world{edges: edges}
+
+	dev1 := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev1, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	w.gz, err = dos.Convert(dos.ConvertConfig{Dev: dev1}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.n2o, err = w.gz.NewToOld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.o2n, err = w.gz.OldToNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev2 := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev2, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	w.chi, err = graphchi.Shard(graphchi.ShardConfig{Dev: dev2, EdgeValSize: evalSize, NumShards: 3}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev3 := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev3, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	w.xs, err = xstream.Partition(xstream.PartitionConfig{Dev: dev3, NumPartitions: 3}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.n = int(graph.MaxID(edges)) + 1
+	w.adj = plain.BuildAdjacency(w.n, edges)
+	return w
+}
+
+func gzOpts() core.Options {
+	return core.Options{MemoryBudget: 64 << 20, DynamicMessages: true}
+}
+
+func chiOpts() graphchi.Options { return graphchi.Options{MemoryBudget: 64 << 20} }
+
+func xsOpts() xstream.Options { return xstream.Options{MemoryBudget: 64 << 20} }
+
+func symmetrize(edges []graph.Edge) []graph.Edge {
+	out := make([]graph.Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out, e, graph.Edge{Src: e.Dst, Dst: e.Src})
+	}
+	return out
+}
+
+func TestBFSAgreesAcrossEngines(t *testing.T) {
+	edges := gen.RMAT(9, 3500, gen.NaturalRMAT, 61)
+	w := buildWorld(t, edges, 4)
+
+	// Source: the highest-degree vertex, named by its original ID.
+	srcOld := w.n2o[0]
+	want := plain.BFS(w.adj, srcOld)
+
+	_, gzLevels, err := graphzalgo.BFS(w.gz, gzOpts(), w.o2n[srcOld])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chiLevels, err := chialgo.BFS(w.chi, chiOpts(), srcOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, xsLevels, err := xsalgo.BFS(w.xs, xsOpts(), srcOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for old := 0; old < w.n; old++ {
+		if chiLevels[old] != want[old] {
+			t.Fatalf("GraphChi level[%d] = %d, want %d", old, chiLevels[old], want[old])
+		}
+		if xsLevels[old] != want[old] {
+			t.Fatalf("X-Stream level[%d] = %d, want %d", old, xsLevels[old], want[old])
+		}
+		if newID := w.o2n[old]; newID != graph.NoVertex {
+			if gzLevels[newID] != want[old] {
+				t.Fatalf("GraphZ level[old %d] = %d, want %d", old, gzLevels[newID], want[old])
+			}
+		}
+	}
+}
+
+// canonicalComponents maps component labels to a canonical form (the
+// partition of vertices), so label ID spaces do not matter.
+func canonicalComponents(t *testing.T, members map[uint32][]graph.VertexID) map[graph.VertexID][]graph.VertexID {
+	t.Helper()
+	out := make(map[graph.VertexID][]graph.VertexID)
+	for _, vs := range members {
+		min := vs[0]
+		for _, v := range vs {
+			if v < min {
+				min = v
+			}
+		}
+		out[min] = vs
+	}
+	return out
+}
+
+func TestCCAgreesAcrossEngines(t *testing.T) {
+	edges := symmetrize(gen.RMAT(8, 1200, gen.NaturalRMAT, 62))
+	w := buildWorld(t, edges, 4)
+
+	want := plain.ConnectedComponents(w.adj)
+
+	_, gzLabels, err := graphzalgo.ConnectedComponents(w.gz, gzOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chiLabels, err := chialgo.ConnectedComponents(w.chi, chiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, xsLabels, err := xsalgo.ConnectedComponents(w.xs, xsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// GraphChi and X-Stream share the natural ID space: labels must
+	// match the reference exactly.
+	for v := 0; v < w.n; v++ {
+		if chiLabels[v] != want[v] {
+			t.Fatalf("GraphChi label[%d] = %d, want %d", v, chiLabels[v], want[v])
+		}
+		if xsLabels[v] != want[v] {
+			t.Fatalf("X-Stream label[%d] = %d, want %d", v, xsLabels[v], want[v])
+		}
+	}
+	// GraphZ labels live in the relabeled space: two original vertices
+	// are in the same component iff their GraphZ labels match.
+	group := make(map[uint32][]graph.VertexID)
+	groupWant := make(map[uint32][]graph.VertexID)
+	for old := 0; old < w.n; old++ {
+		newID := w.o2n[old]
+		if newID == graph.NoVertex {
+			continue
+		}
+		group[gzLabels[newID]] = append(group[gzLabels[newID]], graph.VertexID(old))
+		groupWant[want[old]] = append(groupWant[want[old]], graph.VertexID(old))
+	}
+	a := canonicalComponents(t, group)
+	b := canonicalComponents(t, groupWant)
+	if len(a) != len(b) {
+		t.Fatalf("GraphZ finds %d components, want %d", len(a), len(b))
+	}
+	for min, vs := range a {
+		if len(b[min]) != len(vs) {
+			t.Fatalf("component of %d has %d members, want %d", min, len(vs), len(b[min]))
+		}
+	}
+}
+
+func TestPageRankAgreesAcrossEngines(t *testing.T) {
+	edges := gen.RMAT(9, 3500, gen.NaturalRMAT, 63)
+	w := buildWorld(t, edges, 4)
+
+	const iters = 50
+	want := plain.PageRank(w.adj, 200, 0.85) // reference fixpoint
+
+	_, gzRanks, err := graphzalgo.PageRank(w.gz, gzOpts(), iters, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chiRanks, err := chialgo.PageRank(w.chi, chiOpts(), iters, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, xsRanks, err := xsalgo.PageRank(w.xs, xsOpts(), iters, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tol := func(x float64) float64 { return 2e-3 * (1 + x) }
+	for old := 0; old < w.n; old++ {
+		if d := math.Abs(float64(chiRanks[old]) - want[old]); d > tol(want[old]) {
+			t.Fatalf("GraphChi rank[%d] = %v, want %v", old, chiRanks[old], want[old])
+		}
+		if d := math.Abs(float64(xsRanks[old]) - want[old]); d > tol(want[old]) {
+			t.Fatalf("X-Stream rank[%d] = %v, want %v", old, xsRanks[old], want[old])
+		}
+		if newID := w.o2n[old]; newID != graph.NoVertex {
+			if d := math.Abs(float64(gzRanks[newID]) - want[old]); d > tol(want[old]) {
+				t.Fatalf("GraphZ rank[old %d] = %v, want %v", old, gzRanks[newID], want[old])
+			}
+		}
+	}
+}
+
+func TestSSSPAgreesWithReferencePerEngine(t *testing.T) {
+	// Weights derive from each engine's own ID space (see DESIGN.md),
+	// so GraphChi/X-Stream are compared on natural IDs and GraphZ on
+	// its relabeled space.
+	edges := gen.RMAT(9, 3000, gen.NaturalRMAT, 64)
+	w := buildWorld(t, edges, 4)
+
+	srcOld := w.n2o[0]
+	wantNat := plain.SSSP(w.adj, srcOld)
+
+	_, chiDists, err := chialgo.SSSP(w.chi, chiOpts(), srcOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, xsDists, err := xsalgo.SSSP(w.xs, xsOpts(), srcOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < w.n; v++ {
+		for name, got := range map[string]float32{"GraphChi": chiDists[v], "X-Stream": xsDists[v]} {
+			wv, gv := float64(wantNat[v]), float64(got)
+			if math.IsInf(wv, 1) != math.IsInf(gv, 1) || (!math.IsInf(wv, 1) && math.Abs(gv-wv) > 1e-3) {
+				t.Fatalf("%s dist[%d] = %v, want %v", name, v, gv, wv)
+			}
+		}
+	}
+
+	// GraphZ against a reference on its own relabeled space.
+	rel := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		rel[i] = graph.Edge{Src: w.o2n[e.Src], Dst: w.o2n[e.Dst]}
+	}
+	wantRel := plain.SSSP(plain.BuildAdjacency(w.gz.NumVertices, rel), 0)
+	_, gzDists, err := graphzalgo.SSSP(w.gz, gzOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range wantRel {
+		wv, gv := float64(wantRel[v]), float64(gzDists[v])
+		if math.IsInf(wv, 1) != math.IsInf(gv, 1) || (!math.IsInf(wv, 1) && math.Abs(gv-wv) > 1e-3) {
+			t.Fatalf("GraphZ dist[%d] = %v, want %v", v, gv, wv)
+		}
+	}
+}
+
+func TestAsyncConvergesNoSlowerThanBSP(t *testing.T) {
+	// The paper's Table XIV: asynchronous engines (GraphZ, GraphChi)
+	// need no more iterations than bulk-synchronous X-Stream.
+	edges := symmetrize(gen.RMAT(9, 2500, gen.NaturalRMAT, 65))
+	w := buildWorld(t, edges, 4)
+
+	gzRes, _, err := graphzalgo.ConnectedComponents(w.gz, gzOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chiRes, _, err := chialgo.ConnectedComponents(w.chi, chiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xsRes, _, err := xsalgo.ConnectedComponents(w.xs, xsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gzRes.Iterations > xsRes.Iterations {
+		t.Errorf("GraphZ CC took %d iterations, X-Stream %d", gzRes.Iterations, xsRes.Iterations)
+	}
+	if chiRes.Iterations > xsRes.Iterations {
+		t.Errorf("GraphChi CC took %d iterations, X-Stream %d", chiRes.Iterations, xsRes.Iterations)
+	}
+}
+
+func TestBPMarginalsCloseAcrossEngines(t *testing.T) {
+	// BP is approximate and schedule-dependent; after enough rounds on
+	// the same MRF the engines' marginals should agree loosely.
+	edges := gen.RMAT(8, 1200, gen.NaturalRMAT, 66)
+	w := buildWorld(t, edges, 8)
+
+	const iters = 15
+	_, chiM, err := chialgo.BeliefPropagation(w.chi, chiOpts(), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, xsM, err := xsalgo.BeliefPropagation(w.xs, xsOpts(), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for v := 0; v < w.n; v++ {
+		if d := math.Abs(float64(chiM[v] - xsM[v])); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.15 {
+		t.Errorf("GraphChi and X-Stream BP marginals differ by up to %v", worst)
+	}
+}
+
+func TestRandomWalkTotalsComparable(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 67)
+	w := buildWorld(t, edges, 4)
+
+	const iters, perVertex = 6, 3
+	_, gzVisits, err := graphzalgo.RandomWalk(w.gz, gzOpts(), iters, perVertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chiVisits, err := chialgo.RandomWalk(w.chi, chiOpts(), iters, perVertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, xsVisits, err := xsalgo.RandomWalk(w.xs, xsOpts(), iters, perVertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(v []uint32) (s int64) {
+		for _, x := range v {
+			s += int64(x)
+		}
+		return
+	}
+	// X-Stream walks are strictly synchronous: every walker makes one
+	// hop per iteration — visits are exactly V*perVertex*iters. GraphZ
+	// starts walkers only at real vertices (its dense space skips ID
+	// gaps), so its BSP-equivalent total uses its own vertex count.
+	// The async engines can double-hop (visiting more) but never
+	// exceed one visit per walker per *update*, bounding totals by 2x.
+	wantXS := int64(w.xs.NumVertices) * perVertex * iters
+	if got := sum(xsVisits); got != wantXS {
+		t.Errorf("X-Stream visits = %d, want %d", got, wantXS)
+	}
+	gzBase := int64(w.gz.NumVertices) * perVertex * iters
+	if got := sum(gzVisits); got < gzBase || got > 2*gzBase {
+		t.Errorf("GraphZ visits = %d, want within [%d, %d]", got, gzBase, 2*gzBase)
+	}
+	chiBase := int64(w.xs.NumVertices) * perVertex * iters
+	if got := sum(chiVisits); got < chiBase || got > 2*chiBase {
+		t.Errorf("GraphChi visits = %d, want within [%d, %d]", got, chiBase, 2*chiBase)
+	}
+}

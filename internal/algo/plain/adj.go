@@ -1,0 +1,23 @@
+// Package plain contains direct in-memory implementations of the six
+// benchmark algorithms with no framework support — the role the
+// hand-written C programs play in the paper's Tables I and II, and the
+// correctness references for the out-of-core engines. One file per
+// algorithm, so LOC counts reflect what a programmer would write.
+package plain
+
+import "graphz/internal/graph"
+
+// Adjacency is an in-memory out-adjacency list over a dense ID space.
+type Adjacency struct {
+	N   int
+	Out [][]graph.VertexID
+}
+
+// BuildAdjacency assembles adjacency lists for n vertices.
+func BuildAdjacency(n int, edges []graph.Edge) *Adjacency {
+	out := make([][]graph.VertexID, n)
+	for _, e := range edges {
+		out[e.Src] = append(out[e.Src], e.Dst)
+	}
+	return &Adjacency{N: n, Out: out}
+}

@@ -1,0 +1,31 @@
+package plain
+
+import "graphz/internal/graph"
+
+// UnreachedLevel marks vertices BFS never visits.
+const UnreachedLevel = uint32(0xFFFFFFFF)
+
+// BFS returns hop counts from source along out-edges.
+func BFS(a *Adjacency, source graph.VertexID) []uint32 {
+	levels := make([]uint32, a.N)
+	for i := range levels {
+		levels[i] = UnreachedLevel
+	}
+	if int(source) >= a.N {
+		return levels
+	}
+	levels[source] = 0
+	queue := []graph.VertexID{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		next := levels[u] + 1
+		for _, v := range a.Out[u] {
+			if next < levels[v] {
+				levels[v] = next
+				queue = append(queue, v)
+			}
+		}
+	}
+	return levels
+}

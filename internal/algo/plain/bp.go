@@ -1,0 +1,69 @@
+package plain
+
+import (
+	"math"
+
+	"graphz/internal/graph"
+)
+
+// BeliefPropagation runs synchronous loopy BP on the two-state pairwise
+// MRF the engines use (hash-derived priors and couplings), returning each
+// vertex's marginal probability of state 1.
+func BeliefPropagation(a *Adjacency, iterations int) []float32 {
+	prior0 := make([]float64, a.N)
+	prior1 := make([]float64, a.N)
+	for i := range prior0 {
+		x := uint64(i) + 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+		p := 0.2 + 0.6*float64(x&0xFFFFFF)/float64(1<<24)
+		prior0[i] = math.Log(p)
+		prior1[i] = math.Log(1 - p)
+	}
+	logAdd := func(x, y float64) float64 {
+		if x < y {
+			x, y = y, x
+		}
+		return x + math.Log1p(math.Exp(y-x))
+	}
+	b0 := append([]float64(nil), prior0...)
+	b1 := append([]float64(nil), prior1...)
+	acc0 := make([]float64, a.N)
+	acc1 := make([]float64, a.N)
+	for it := 0; it < iterations; it++ {
+		for i := range acc0 {
+			acc0[i], acc1[i] = 0, 0
+		}
+		for u, out := range a.Out {
+			for _, v := range out {
+				c := graph.EdgeCoupling(graph.VertexID(u), v)
+				same, diff := math.Log(c), math.Log(1-c)
+				m0 := logAdd(b0[u]+same, b1[u]+diff)
+				m1 := logAdd(b0[u]+diff, b1[u]+same)
+				z := logAdd(m0, m1)
+				acc0[v] += m0 - z
+				acc1[v] += m1 - z
+			}
+		}
+		for i := range b0 {
+			// Damped update (lambda = 0.5): geometric mixing with
+			// the previous belief prevents the period-2
+			// oscillation parallel loopy BP is prone to, so every
+			// schedule converges to the same fixpoint.
+			n0 := prior0[i] + acc0[i]
+			n1 := prior1[i] + acc1[i]
+			z := logAdd(n0, n1)
+			b0[i] = 0.5*(n0-z) + 0.5*b0[i]
+			b1[i] = 0.5*(n1-z) + 0.5*b1[i]
+			z = logAdd(b0[i], b1[i])
+			b0[i] -= z
+			b1[i] -= z
+		}
+	}
+	out := make([]float32, a.N)
+	for i := range out {
+		out[i] = float32(math.Exp(b1[i]))
+	}
+	return out
+}

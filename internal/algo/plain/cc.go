@@ -1,0 +1,24 @@
+package plain
+
+// ConnectedComponents propagates minimum labels along out-edges to a
+// fixpoint. On a symmetrized graph the labels identify weakly-connected
+// components.
+func ConnectedComponents(a *Adjacency) []uint32 {
+	labels := make([]uint32, a.N)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u, out := range a.Out {
+			lu := labels[u]
+			for _, v := range out {
+				if lu < labels[v] {
+					labels[v] = lu
+					changed = true
+				}
+			}
+		}
+	}
+	return labels
+}

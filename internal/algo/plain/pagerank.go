@@ -1,0 +1,30 @@
+package plain
+
+// PageRank runs synchronous damped power iteration: rank'(v) = (1-d) +
+// d * sum over in-edges (u,v) of rank(u)/outdeg(u). Ranks start at 1 and
+// are unnormalized, matching the engines' formulation.
+func PageRank(a *Adjacency, iterations int, damping float64) []float64 {
+	rank := make([]float64, a.N)
+	for i := range rank {
+		rank[i] = 1
+	}
+	votes := make([]float64, a.N)
+	for it := 0; it < iterations; it++ {
+		for i := range votes {
+			votes[i] = 0
+		}
+		for u, out := range a.Out {
+			if len(out) == 0 {
+				continue
+			}
+			share := rank[u] / float64(len(out))
+			for _, v := range out {
+				votes[v] += share
+			}
+		}
+		for i := range rank {
+			rank[i] = (1 - damping) + damping*votes[i]
+		}
+	}
+	return rank
+}

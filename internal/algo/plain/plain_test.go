@@ -1,0 +1,113 @@
+package plain
+
+import (
+	"math"
+	"testing"
+
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+)
+
+func lineGraph(n int) *Adjacency {
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)})
+	}
+	return BuildAdjacency(n, edges)
+}
+
+func TestBFSLine(t *testing.T) {
+	a := lineGraph(5)
+	levels := BFS(a, 0)
+	for i := 0; i < 5; i++ {
+		if levels[i] != uint32(i) {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], i)
+		}
+	}
+	levels = BFS(a, 3)
+	if levels[0] != UnreachedLevel || levels[4] != 1 {
+		t.Errorf("BFS from middle: %v", levels)
+	}
+	// Out-of-range source returns all-unreached.
+	levels = BFS(a, 99)
+	for _, l := range levels {
+		if l != UnreachedLevel {
+			t.Error("out-of-range source should reach nothing")
+		}
+	}
+}
+
+func TestCCTwoComponents(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2}, {Src: 3, Dst: 4}, {Src: 4, Dst: 3},
+	}
+	labels := ConnectedComponents(BuildAdjacency(5, edges))
+	if labels[0] != 0 || labels[1] != 0 {
+		t.Errorf("component A labels: %v", labels)
+	}
+	if labels[2] != 2 || labels[3] != 2 || labels[4] != 2 {
+		t.Errorf("component B labels: %v", labels)
+	}
+}
+
+func TestPageRankLine(t *testing.T) {
+	a := lineGraph(3)
+	ranks := PageRank(a, 50, 0.85)
+	// Vertex 0 has no in-edges: rank = 1-d = 0.15.
+	if math.Abs(ranks[0]-0.15) > 1e-9 {
+		t.Errorf("rank[0] = %v, want 0.15", ranks[0])
+	}
+	// rank[1] = 0.15 + 0.85*rank[0] (single in-edge from deg-1 vertex).
+	if math.Abs(ranks[1]-(0.15+0.85*0.15)) > 1e-9 {
+		t.Errorf("rank[1] = %v", ranks[1])
+	}
+	if ranks[2] <= ranks[1] || ranks[1] <= ranks[0] {
+		t.Errorf("line graph ranks should increase: %v", ranks)
+	}
+}
+
+func TestSSSPRelaxed(t *testing.T) {
+	edges := gen.ErdosRenyi(60, 400, 5)
+	a := BuildAdjacency(60, edges)
+	dist := SSSP(a, 0)
+	if dist[0] != 0 {
+		t.Errorf("dist[source] = %v", dist[0])
+	}
+	for _, e := range edges {
+		du, dv := float64(dist[e.Src]), float64(dist[e.Dst])
+		if math.IsInf(du, 1) {
+			continue
+		}
+		if dv > du+float64(graph.EdgeWeight(e.Src, e.Dst))+1e-6 {
+			t.Fatalf("edge %v not relaxed", e)
+		}
+	}
+}
+
+func TestBPMarginalsInRange(t *testing.T) {
+	edges := gen.RMAT(7, 600, gen.NaturalRMAT, 6)
+	a := BuildAdjacency(128, edges)
+	m := BeliefPropagation(a, 8)
+	for i, p := range m {
+		if !(p >= 0 && p <= 1) {
+			t.Fatalf("marginal[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestRandomWalkConservedSync(t *testing.T) {
+	edges := gen.RMAT(7, 600, gen.NaturalRMAT, 8)
+	a := BuildAdjacency(128, edges)
+	// Synchronous semantics conserve walkers exactly each step; check
+	// via visits of step counts: total visits per iteration == total
+	// walkers.
+	visits := RandomWalk(a, 6, 3)
+	var sum int64
+	for _, v := range visits {
+		sum += int64(v)
+	}
+	if want := int64(128) * 3 * 6; sum != want {
+		t.Errorf("total visits = %d, want %d", sum, want)
+	}
+}

@@ -1,0 +1,49 @@
+package plain
+
+// RandomWalk spreads walkersPerVertex walkers from every vertex for the
+// given number of steps (even split, hash-rotated remainder, dead-end
+// walkers rest), returning per-vertex visit counts. It mirrors the
+// engines' deterministic aggregation so totals are comparable.
+func RandomWalk(a *Adjacency, iterations int, walkersPerVertex uint32) []uint32 {
+	cur := make([]uint32, a.N)
+	next := make([]uint32, a.N)
+	visits := make([]uint32, a.N)
+	for i := range cur {
+		cur[i] = walkersPerVertex
+	}
+	hash := func(id uint32, iter int) uint64 {
+		x := uint64(id)<<32 ^ uint64(uint32(iter))
+		x = (x ^ (x >> 33)) * 0xff51afd7ed558ccd
+		x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53
+		return x ^ (x >> 33)
+	}
+	for it := 0; it < iterations; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for u, w := range cur {
+			if w == 0 {
+				continue
+			}
+			visits[u] += w
+			out := a.Out[u]
+			ndeg := uint32(len(out))
+			if ndeg == 0 {
+				next[u] += w
+				continue
+			}
+			base := w / ndeg
+			extra := w % ndeg
+			start := uint32(hash(uint32(u), it) % uint64(ndeg))
+			for i, v := range out {
+				n := base
+				if d := (uint32(i) + ndeg - start) % ndeg; d < extra {
+					n++
+				}
+				next[v] += n
+			}
+		}
+		cur, next = next, cur
+	}
+	return visits
+}

@@ -1,0 +1,37 @@
+package plain
+
+import (
+	"math"
+
+	"graphz/internal/graph"
+)
+
+// SSSP computes shortest-path distances from source with the shared
+// hash-derived edge weights (graph.EdgeWeight), Bellman-Ford style.
+func SSSP(a *Adjacency, source graph.VertexID) []float32 {
+	inf := float32(math.Inf(1))
+	dist := make([]float32, a.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	if int(source) >= a.N {
+		return dist
+	}
+	dist[source] = 0
+	for changed := true; changed; {
+		changed = false
+		for u, out := range a.Out {
+			du := dist[u]
+			if math.IsInf(float64(du), 1) {
+				continue
+			}
+			for _, v := range out {
+				if d := du + graph.EdgeWeight(graph.VertexID(u), v); d < dist[v] {
+					dist[v] = d
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,76 @@
+package xsalgo
+
+import (
+	"encoding/binary"
+
+	"graphz/internal/graph"
+	"graphz/internal/xstream"
+)
+
+// Unreached marks a vertex BFS has not visited.
+const Unreached = uint32(0xFFFFFFFF)
+
+// bfsVal carries the level and the iteration at which it should be
+// scattered (BSP needs the stamp to ship each improvement exactly once).
+type bfsVal struct {
+	Level  uint32
+	ShipAt int32
+}
+
+type bfsValCodec struct{}
+
+func (bfsValCodec) Size() int { return 8 }
+
+func (bfsValCodec) Encode(b []byte, v bfsVal) {
+	binary.LittleEndian.PutUint32(b, v.Level)
+	binary.LittleEndian.PutUint32(b[4:], uint32(v.ShipAt))
+}
+
+func (bfsValCodec) Decode(b []byte) bfsVal {
+	return bfsVal{
+		Level:  binary.LittleEndian.Uint32(b),
+		ShipAt: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+type bfsProgram struct {
+	source graph.VertexID
+}
+
+func (p bfsProgram) Init(id graph.VertexID, outDeg uint32) bfsVal {
+	if id == p.source {
+		return bfsVal{Level: 0, ShipAt: 0}
+	}
+	return bfsVal{Level: Unreached, ShipAt: -1}
+}
+
+func (bfsProgram) Scatter(iter int, src graph.VertexID, v *bfsVal, dst graph.VertexID) (uint32, bool) {
+	if v.ShipAt != int32(iter) {
+		return 0, false
+	}
+	return v.Level + 1, true
+}
+
+func (bfsProgram) Gather(iter int, dst graph.VertexID, v *bfsVal, u uint32) {
+	if u < v.Level {
+		v.Level = u
+		v.ShipAt = int32(iter) + 1
+	}
+}
+
+func (bfsProgram) PostGather(iter int, id graph.VertexID, v *bfsVal) bool {
+	return v.ShipAt == int32(iter)+1
+}
+
+// BFS computes hop counts from source along out-edges until quiescent.
+func BFS(pt *xstream.Partitioned, opts xstream.Options, source graph.VertexID) (xstream.Result, []uint32, error) {
+	res, vals, err := run[bfsVal, uint32](pt, bfsProgram{source: source}, bfsValCodec{}, graph.Uint32Codec{}, opts)
+	if err != nil {
+		return xstream.Result{}, nil, err
+	}
+	levels := make([]uint32, len(vals))
+	for i, v := range vals {
+		levels[i] = v.Level
+	}
+	return res, levels, nil
+}

@@ -1,0 +1,137 @@
+package xsalgo
+
+import (
+	"encoding/binary"
+	"math"
+
+	"graphz/internal/graph"
+	"graphz/internal/xstream"
+)
+
+// Belief propagation in the edge-centric model: scatter recomputes the
+// outgoing two-state log-message per edge from the source's belief;
+// gather accumulates; PostGather folds accumulators into normalized
+// beliefs. Priors and couplings are the shared hash-derived ones.
+
+type bpVal struct {
+	B0, B1 float32
+	A0, A1 float32
+}
+
+type bpValCodec struct{}
+
+func (bpValCodec) Size() int { return 16 }
+
+func (bpValCodec) Encode(b []byte, v bpVal) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v.B0))
+	binary.LittleEndian.PutUint32(b[4:], math.Float32bits(v.B1))
+	binary.LittleEndian.PutUint32(b[8:], math.Float32bits(v.A0))
+	binary.LittleEndian.PutUint32(b[12:], math.Float32bits(v.A1))
+}
+
+func (bpValCodec) Decode(b []byte) bpVal {
+	return bpVal{
+		B0: math.Float32frombits(binary.LittleEndian.Uint32(b)),
+		B1: math.Float32frombits(binary.LittleEndian.Uint32(b[4:])),
+		A0: math.Float32frombits(binary.LittleEndian.Uint32(b[8:])),
+		A1: math.Float32frombits(binary.LittleEndian.Uint32(b[12:])),
+	}
+}
+
+type bpMsg struct {
+	M0, M1 float32
+}
+
+type bpMsgCodec struct{}
+
+func (bpMsgCodec) Size() int { return 8 }
+
+func (bpMsgCodec) Encode(b []byte, m bpMsg) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(m.M0))
+	binary.LittleEndian.PutUint32(b[4:], math.Float32bits(m.M1))
+}
+
+func (bpMsgCodec) Decode(b []byte) bpMsg {
+	return bpMsg{
+		M0: math.Float32frombits(binary.LittleEndian.Uint32(b)),
+		M1: math.Float32frombits(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+func bpPrior(id graph.VertexID) (float32, float32) {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	p := 0.2 + 0.6*float64(x&0xFFFFFF)/float64(1<<24)
+	return float32(math.Log(p)), float32(math.Log(1 - p))
+}
+
+func logAdd(a, b float32) float32 {
+	if a < b {
+		a, b = b, a
+	}
+	return a + float32(math.Log1p(math.Exp(float64(b-a))))
+}
+
+type bpProgram struct{}
+
+func (bpProgram) Init(id graph.VertexID, outDeg uint32) bpVal {
+	p0, p1 := bpPrior(id)
+	return bpVal{B0: p0, B1: p1}
+}
+
+func (bpProgram) Scatter(iter int, src graph.VertexID, v *bpVal, dst graph.VertexID) (bpMsg, bool) {
+	c := graph.EdgeCoupling(src, dst)
+	same := float32(math.Log(c))
+	diff := float32(math.Log(1 - c))
+	m := bpMsg{
+		M0: logAdd(v.B0+same, v.B1+diff),
+		M1: logAdd(v.B0+diff, v.B1+same),
+	}
+	z := logAdd(m.M0, m.M1)
+	m.M0 -= z
+	m.M1 -= z
+	return m, true
+}
+
+func (bpProgram) Gather(iter int, dst graph.VertexID, v *bpVal, u bpMsg) {
+	v.A0 += u.M0
+	v.A1 += u.M1
+}
+
+func (bpProgram) PostGather(iter int, id graph.VertexID, v *bpVal) bool {
+	p0, p1 := bpPrior(id)
+	// Damped update (lambda = 0.5), as in the other engines.
+	n0 := p0 + v.A0
+	n1 := p1 + v.A1
+	z := logAdd(n0, n1)
+	v.B0 = 0.5*(n0-z) + 0.5*v.B0
+	v.B1 = 0.5*(n1-z) + 0.5*v.B1
+	z = logAdd(v.B0, v.B1)
+	v.B0 -= z
+	v.B1 -= z
+	v.A0, v.A1 = 0, 0
+	return true
+}
+
+// BeliefPropagation runs synchronous loopy BP for the given iterations,
+// returning each vertex's marginal probability of state 1.
+func BeliefPropagation(pt *xstream.Partitioned, opts xstream.Options, iterations int) (xstream.Result, []float32, error) {
+	opts.MaxIterations = iterations
+	res, vals, err := run[bpVal, bpMsg](pt, bpProgram{}, bpValCodec{}, bpMsgCodec{}, opts)
+	if err != nil {
+		return xstream.Result{}, nil, err
+	}
+	marg := make([]float32, len(vals))
+	for i, v := range vals {
+		m := v.B0
+		if v.B1 > m {
+			m = v.B1
+		}
+		e0 := math.Exp(float64(v.B0 - m))
+		e1 := math.Exp(float64(v.B1 - m))
+		marg[i] = float32(e1 / (e0 + e1))
+	}
+	return res, marg, nil
+}

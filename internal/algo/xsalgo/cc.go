@@ -1,0 +1,70 @@
+package xsalgo
+
+import (
+	"encoding/binary"
+
+	"graphz/internal/graph"
+	"graphz/internal/xstream"
+)
+
+// ccVal carries the component label and its ship stamp.
+type ccVal struct {
+	Label  uint32
+	ShipAt int32
+}
+
+type ccValCodec struct{}
+
+func (ccValCodec) Size() int { return 8 }
+
+func (ccValCodec) Encode(b []byte, v ccVal) {
+	binary.LittleEndian.PutUint32(b, v.Label)
+	binary.LittleEndian.PutUint32(b[4:], uint32(v.ShipAt))
+}
+
+func (ccValCodec) Decode(b []byte) ccVal {
+	return ccVal{
+		Label:  binary.LittleEndian.Uint32(b),
+		ShipAt: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+// ccProgram propagates minimum labels; every vertex ships its own label
+// at iteration 0. Symmetrize the graph for weakly-connected components.
+type ccProgram struct{}
+
+func (ccProgram) Init(id graph.VertexID, outDeg uint32) ccVal {
+	return ccVal{Label: uint32(id), ShipAt: 0}
+}
+
+func (ccProgram) Scatter(iter int, src graph.VertexID, v *ccVal, dst graph.VertexID) (uint32, bool) {
+	if v.ShipAt != int32(iter) {
+		return 0, false
+	}
+	return v.Label, true
+}
+
+func (ccProgram) Gather(iter int, dst graph.VertexID, v *ccVal, u uint32) {
+	if u < v.Label {
+		v.Label = u
+		v.ShipAt = int32(iter) + 1
+	}
+}
+
+func (ccProgram) PostGather(iter int, id graph.VertexID, v *ccVal) bool {
+	return v.ShipAt == int32(iter)+1
+}
+
+// ConnectedComponents labels each vertex with the smallest ID that
+// reaches it, running until quiescent.
+func ConnectedComponents(pt *xstream.Partitioned, opts xstream.Options) (xstream.Result, []uint32, error) {
+	res, vals, err := run[ccVal, uint32](pt, ccProgram{}, ccValCodec{}, graph.Uint32Codec{}, opts)
+	if err != nil {
+		return xstream.Result{}, nil, err
+	}
+	labels := make([]uint32, len(vals))
+	for i, v := range vals {
+		labels[i] = v.Label
+	}
+	return res, labels, nil
+}

@@ -1,0 +1,30 @@
+// Package xsalgo implements the six benchmark algorithms in the
+// X-Stream-style edge-centric model (scatter over edges, gather over
+// updates, bulk-synchronous). One file per algorithm for the LOC
+// comparisons of Tables I and IX; the extra state BSP programs must
+// carry (iteration stamps, scatter cursors) is why these are longer than
+// their GraphZ counterparts, as in the paper's Table IX.
+package xsalgo
+
+import (
+	"graphz/internal/graph"
+	"graphz/internal/xstream"
+)
+
+// run wires a program into the X-Stream engine and executes it.
+func run[V, U any](pt *xstream.Partitioned, prog xstream.Program[V, U], vc graph.Codec[V], uc graph.Codec[U], opts xstream.Options) (xstream.Result, []V, error) {
+	eng, err := xstream.New[V, U](pt, prog, vc, uc, opts)
+	if err != nil {
+		return xstream.Result{}, nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return xstream.Result{}, nil, err
+	}
+	vals, err := eng.Values()
+	if err != nil {
+		return xstream.Result{}, nil, err
+	}
+	eng.Cleanup()
+	return res, vals, nil
+}

@@ -1,0 +1,72 @@
+package xsalgo
+
+import (
+	"encoding/binary"
+	"math"
+
+	"graphz/internal/graph"
+	"graphz/internal/xstream"
+)
+
+// prVal carries the rank, the votes gathered this iteration, and the
+// out-degree (scatter needs it and the model has no vertex index).
+type prVal struct {
+	Rank  float32
+	Votes float32
+	Deg   uint32
+}
+
+type prValCodec struct{}
+
+func (prValCodec) Size() int { return 12 }
+
+func (prValCodec) Encode(b []byte, v prVal) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v.Rank))
+	binary.LittleEndian.PutUint32(b[4:], math.Float32bits(v.Votes))
+	binary.LittleEndian.PutUint32(b[8:], v.Deg)
+}
+
+func (prValCodec) Decode(b []byte) prVal {
+	return prVal{
+		Rank:  math.Float32frombits(binary.LittleEndian.Uint32(b)),
+		Votes: math.Float32frombits(binary.LittleEndian.Uint32(b[4:])),
+		Deg:   binary.LittleEndian.Uint32(b[8:]),
+	}
+}
+
+type prProgram struct {
+	damping float32
+}
+
+func (prProgram) Init(id graph.VertexID, outDeg uint32) prVal {
+	return prVal{Rank: 1, Deg: outDeg}
+}
+
+func (prProgram) Scatter(iter int, src graph.VertexID, v *prVal, dst graph.VertexID) (float32, bool) {
+	return v.Rank / float32(v.Deg), true
+}
+
+func (prProgram) Gather(iter int, dst graph.VertexID, v *prVal, u float32) {
+	v.Votes += u
+}
+
+func (p prProgram) PostGather(iter int, id graph.VertexID, v *prVal) bool {
+	v.Rank = (1 - p.damping) + p.damping*v.Votes
+	v.Votes = 0
+	return true
+}
+
+// PageRank runs synchronous damped PageRank for the given iterations,
+// returning ranks by natural vertex ID.
+func PageRank(pt *xstream.Partitioned, opts xstream.Options, iterations int, damping float32) (xstream.Result, []float32, error) {
+	opts.MaxIterations = iterations
+	res, vals, err := run[prVal, float32](pt, prProgram{damping: damping}, prValCodec{}, graph.Float32Codec{}, opts)
+	if err != nil {
+		return xstream.Result{}, nil, err
+	}
+	ranks := make([]float32, len(vals))
+	for i, v := range vals {
+		ranks[i] = v.Rank
+	}
+	return res, ranks, nil
+}

@@ -1,0 +1,76 @@
+package xsalgo
+
+import (
+	"encoding/binary"
+	"math"
+
+	"graphz/internal/graph"
+	"graphz/internal/xstream"
+)
+
+// ssspVal carries the distance and its ship stamp.
+type ssspVal struct {
+	Dist   float32
+	ShipAt int32
+}
+
+type ssspValCodec struct{}
+
+func (ssspValCodec) Size() int { return 8 }
+
+func (ssspValCodec) Encode(b []byte, v ssspVal) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v.Dist))
+	binary.LittleEndian.PutUint32(b[4:], uint32(v.ShipAt))
+}
+
+func (ssspValCodec) Decode(b []byte) ssspVal {
+	return ssspVal{
+		Dist:   math.Float32frombits(binary.LittleEndian.Uint32(b)),
+		ShipAt: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+var inf32 = float32(math.Inf(1))
+
+type ssspProgram struct {
+	source graph.VertexID
+}
+
+func (p ssspProgram) Init(id graph.VertexID, outDeg uint32) ssspVal {
+	if id == p.source {
+		return ssspVal{Dist: 0, ShipAt: 0}
+	}
+	return ssspVal{Dist: inf32, ShipAt: -1}
+}
+
+func (ssspProgram) Scatter(iter int, src graph.VertexID, v *ssspVal, dst graph.VertexID) (float32, bool) {
+	if v.ShipAt != int32(iter) {
+		return 0, false
+	}
+	return v.Dist + graph.EdgeWeight(src, dst), true
+}
+
+func (ssspProgram) Gather(iter int, dst graph.VertexID, v *ssspVal, u float32) {
+	if u < v.Dist {
+		v.Dist = u
+		v.ShipAt = int32(iter) + 1
+	}
+}
+
+func (ssspProgram) PostGather(iter int, id graph.VertexID, v *ssspVal) bool {
+	return v.ShipAt == int32(iter)+1
+}
+
+// SSSP computes shortest-path distances from source with hash-derived
+// weights, running until quiescent.
+func SSSP(pt *xstream.Partitioned, opts xstream.Options, source graph.VertexID) (xstream.Result, []float32, error) {
+	res, vals, err := run[ssspVal, float32](pt, ssspProgram{source: source}, ssspValCodec{}, graph.Float32Codec{}, opts)
+	if err != nil {
+		return xstream.Result{}, nil, err
+	}
+	dists := make([]float32, len(vals))
+	for i, v := range vals {
+		dists[i] = v.Dist
+	}
+	return res, dists, nil
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"sync"
+
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+)
+
+var (
+	analogMu        sync.Mutex
+	analogEdgeMemo  = map[string][]graph.Edge{}
+	analogStatsMemo = map[string]gen.Stats{}
+)
+
+// zipfAnalogEdges generates (memoized) the Table VIII stand-in for one
+// SNAP graph.
+func zipfAnalogEdges(a snapAnalog) []graph.Edge {
+	analogMu.Lock()
+	defer analogMu.Unlock()
+	if e, ok := analogEdgeMemo[a.name]; ok {
+		return e
+	}
+	e := gen.Zipf(a.vertices, a.edges, a.zipfS, a.seed)
+	analogEdgeMemo[a.name] = e
+	return e
+}
+
+// analogStats summarizes an analog graph (memoized).
+func analogStats(name string, edges []graph.Edge) gen.Stats {
+	analogMu.Lock()
+	defer analogMu.Unlock()
+	if st, ok := analogStatsMemo[name]; ok {
+		return st
+	}
+	st := gen.Summarize(edges)
+	analogStatsMemo[name] = st
+	return st
+}

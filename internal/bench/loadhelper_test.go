@@ -1,0 +1,8 @@
+package bench
+
+import "graphz/internal/dos"
+
+// loadDOSForTest opens the DOS graph on a prepared device.
+func loadDOSForTest(p *PrepResult) (*dos.Graph, error) {
+	return dos.Load(p.Dev, Prefix)
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// CountLOC counts the non-blank, non-comment lines of a repository file
+// (path relative to the module root) — the metric behind the paper's
+// Tables I and IX. Block comments are stripped naively, which matches
+// this repository's style (no code after */ on a line).
+func CountLOC(relPath string) (int, error) {
+	f, err := os.Open(filepath.Join(repoRoot(), relPath))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	inBlock := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if inBlock {
+			if strings.Contains(line, "*/") {
+				inBlock = false
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if strings.HasPrefix(line, "/*") {
+			if !strings.Contains(line, "*/") {
+				inBlock = true
+			}
+			continue
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// repoRoot locates the module root from this source file's path, so LOC
+// counting works regardless of the test working directory.
+func repoRoot() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "."
+	}
+	// file = <root>/internal/bench/loc.go
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// AlgoFile returns the repository path of one algorithm's implementation
+// for one engine ("plain" counts as the no-framework baseline).
+func AlgoFile(engine Engine, a Algo) string {
+	name := map[Algo]string{
+		PR: "pagerank.go", BFS: "bfs.go", CC: "cc.go",
+		SSSP: "sssp.go", BP: "bp.go", RW: "rw.go",
+	}[a]
+	switch engine {
+	case GraphZ, GraphZNoDOS, GraphZNoDOSNoDM:
+		return filepath.Join("internal", "algo", "graphzalgo", name)
+	case GraphChi:
+		return filepath.Join("internal", "algo", "chialgo", name)
+	case XStream:
+		return filepath.Join("internal", "algo", "xsalgo", name)
+	}
+	return ""
+}
+
+// PlainAlgoFile returns the repository path of the no-framework
+// implementation of an algorithm.
+func PlainAlgoFile(a Algo) string {
+	name := map[Algo]string{
+		PR: "pagerank.go", BFS: "bfs.go", CC: "cc.go",
+		SSSP: "sssp.go", BP: "bp.go", RW: "rw.go",
+	}[a]
+	return filepath.Join("internal", "algo", "plain", name)
+}
+
+// MustLOC counts LOC, panicking on missing files (harness misconfig).
+func MustLOC(relPath string) int {
+	n, err := CountLOC(relPath)
+	if err != nil {
+		panic(fmt.Sprintf("bench: counting LOC of %s: %v", relPath, err))
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"graphz/internal/energy"
+	"graphz/internal/graph"
+	"graphz/internal/sim"
+	"graphz/internal/storage"
+)
+
+// NaivePageRank models the paper's "C implementation" baseline (Tables I
+// and II): a straightforward PageRank with no out-of-core framework.
+// Vertex state lives in a flat array; when it fits the memory budget the
+// program is purely in-memory apart from streaming the edge list, and
+// when it does not, vertex accesses go through an OS-page-cache model
+// (4 KiB pages, LRU over the budget) so every miss costs a random device
+// read — the cost a no-framework program pays for ignoring locality.
+type NaiveResult struct {
+	Runtime   time.Duration
+	Compute   time.Duration
+	IO        time.Duration
+	Energy    energy.Report
+	PageMiss  int64
+	PageLooks int64
+}
+
+const naivePageBytes = 4096
+
+var (
+	naiveMu   sync.Mutex
+	naiveMemo = map[string]NaiveResult{}
+)
+
+// NaivePageRank runs the model for a scale on a device kind under a
+// memory budget and returns its modeled cost (memoized).
+func NaivePageRank(s Scale, kind storage.Kind, budget int64) NaiveResult {
+	key := s.Name + kind.String() + MemLabel(budget)
+	naiveMu.Lock()
+	defer naiveMu.Unlock()
+	if r, ok := naiveMemo[key]; ok {
+		return r
+	}
+	r := naivePageRank(s, kind, budget)
+	naiveMemo[key] = r
+	return r
+}
+
+func naivePageRank(s Scale, kind storage.Kind, budget int64) NaiveResult {
+	edges := EdgesFor(s, false)
+	n := int64(graph.MaxID(edges)) + 1
+	clock := sim.NewClock()
+	profile := storage.ProfileFor(kind)
+
+	// Vertex state: two C-style double arrays (rank + votes) = 16 B
+	// per vertex.
+	stateBytes := n * 16
+	// The edge list is streamed once per iteration regardless.
+	edgeBytes := int64(len(edges)) * graph.EdgeBytes
+
+	inMemory := stateBytes <= budget
+	var cache *pageLRU
+	if !inMemory {
+		cachePages := int(budget / naivePageBytes)
+		if cachePages < 1 {
+			cachePages = 1
+		}
+		cache = newPageLRU(cachePages)
+	}
+
+	var misses, looks int64
+	for it := 0; it < prIterations; it++ {
+		// Sequential edge stream.
+		clock.IO(profile.SeekLatency + time.Duration(float64(edgeBytes)/profile.ReadBandwidth*float64(time.Second)))
+		clock.ComputeUnits(int64(len(edges)), sim.CostEdgeScan)
+		clock.ComputeUnits(n, sim.CostVertexUpdate)
+		if inMemory {
+			continue
+		}
+		// Each edge touches the source's rank page and the
+		// destination's vote page.
+		for _, e := range edges {
+			for _, v := range [2]graph.VertexID{e.Src, e.Dst} {
+				looks++
+				page := int64(v) * 16 / naivePageBytes
+				if !cache.touch(page) {
+					misses++
+					clock.IO(profile.SeekLatency +
+						time.Duration(float64(naivePageBytes)/profile.ReadBandwidth*float64(time.Second)))
+				}
+			}
+		}
+	}
+	return NaiveResult{
+		Runtime:   clock.Total(),
+		Compute:   clock.TotalCompute(),
+		IO:        clock.TotalIO(),
+		Energy:    energy.Measure(clock, kind),
+		PageMiss:  misses,
+		PageLooks: looks,
+	}
+}
+
+// pageLRU is a tiny LRU set of page numbers.
+type pageLRU struct {
+	capacity int
+	order    *list.List
+	index    map[int64]*list.Element
+}
+
+func newPageLRU(capacity int) *pageLRU {
+	return &pageLRU{capacity: capacity, order: list.New(), index: make(map[int64]*list.Element)}
+}
+
+// touch marks a page used, returning true on a hit.
+func (c *pageLRU) touch(page int64) bool {
+	if el, ok := c.index[page]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	if c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		delete(c.index, back.Value.(int64))
+		c.order.Remove(back)
+	}
+	c.index[page] = c.order.PushFront(page)
+	return false
+}

@@ -1,0 +1,156 @@
+// Package bench is the experiment harness: it reproduces every table and
+// figure of the paper's evaluation (Section VI) over the synthetic graph
+// scales, the simulated HDD/SSD devices, and the three engines. Each
+// experiment has a Benchmark entry point in the repository root's
+// bench_test.go (see DESIGN.md's experiment index).
+package bench
+
+import (
+	"sync"
+
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/sim"
+	"graphz/internal/storage"
+)
+
+// Scale describes one synthetic stand-in for a paper dataset. The edge
+// counts are laptop-sized, but each scale preserves the paper's
+// graph-size : memory-budget ratio and its edge : vertex sparsity, which
+// are what the evaluation's effects depend on (DESIGN.md, substitutions).
+type Scale struct {
+	Name     string
+	AnalogOf string
+	RMATLog2 int // vertex ID space is 2^RMATLog2
+	Edges    int
+	Seed     uint64
+}
+
+// The four scales, mirroring the paper's Table X.
+var (
+	Small  = Scale{Name: "small", AnalogOf: "LiveJournal", RMATLog2: 14, Edges: 250_000, Seed: 1001}
+	Medium = Scale{Name: "medium", AnalogOf: "Friendster", RMATLog2: 17, Edges: 1_200_000, Seed: 1002}
+	Large  = Scale{Name: "large", AnalogOf: "YahooWeb", RMATLog2: 19, Edges: 4_000_000, Seed: 1003}
+	XLarge = Scale{Name: "xlarge", AnalogOf: "Sim", RMATLog2: 21, Edges: 16_000_000, Seed: 1004}
+)
+
+// Scales lists all four in size order.
+var Scales = []Scale{Small, Medium, Large, XLarge}
+
+// Memory budgets standing in for the paper's 4, 8, and 16 GB RAM
+// configurations (scaled 1000x down with the graphs).
+const (
+	Mem4  = int64(4 << 20)
+	Mem8  = int64(8 << 20)
+	Mem16 = int64(16 << 20)
+)
+
+// MemPresets orders the budget sweep of the Figure 6 experiments.
+var MemPresets = []int64{Mem4, Mem8, Mem16}
+
+// MemLabel names a budget preset like the paper's x axes ("4GB RAM").
+func MemLabel(budget int64) string {
+	switch budget {
+	case Mem4:
+		return "4GB"
+	case Mem8:
+		return "8GB"
+	case Mem16:
+		return "16GB"
+	}
+	return "custom"
+}
+
+// DefaultBudget is the budget used where the paper fixes memory.
+const DefaultBudget = Mem8
+
+// SSDCapacity reproduces "the SSD cannot hold this graph" for the xlarge
+// scale: the raw graph plus any engine's preprocessing working set
+// exceeds it, while small/medium/large fit comfortably.
+const SSDCapacity = int64(240 << 20)
+
+// NewHDD returns a fresh simulated magnetic disk (effectively unbounded,
+// like the paper's 2 TB external drive).
+func NewHDD(clock *sim.Clock) *storage.Device {
+	return storage.NewDevice(storage.HDD, storage.Options{Clock: clock})
+}
+
+// NewSSD returns a fresh simulated SSD with the capacity limit.
+func NewSSD(clock *sim.Clock) *storage.Device {
+	return storage.NewDevice(storage.SSD, storage.Options{Clock: clock, Capacity: SSDCapacity})
+}
+
+// NewDevice returns a fresh device of the given kind with the harness's
+// standard capacity configuration.
+func NewDevice(kind storage.Kind, clock *sim.Clock) *storage.Device {
+	switch kind {
+	case storage.SSD:
+		return NewSSD(clock)
+	default:
+		return NewHDD(clock)
+	}
+}
+
+var (
+	edgeMu    sync.Mutex
+	edgeMemo  = map[string][]graph.Edge{}
+	statsMemo = map[string]gen.Stats{}
+)
+
+// EdgesFor generates (and memoizes) a scale's edge list; symmetric
+// doubles every edge, which is how connected-components inputs are
+// prepared for all engines.
+func EdgesFor(s Scale, symmetric bool) []graph.Edge {
+	key := s.Name
+	if symmetric {
+		key += "+sym"
+	}
+	edgeMu.Lock()
+	defer edgeMu.Unlock()
+	if e, ok := edgeMemo[key]; ok {
+		return e
+	}
+	edges := gen.RMAT(s.RMATLog2, s.Edges, gen.NaturalRMAT, s.Seed)
+	if symmetric {
+		sym := make([]graph.Edge, 0, 2*len(edges))
+		for _, e := range edges {
+			sym = append(sym, e, graph.Edge{Src: e.Dst, Dst: e.Src})
+		}
+		edges = sym
+	}
+	edgeMemo[key] = edges
+	return edges
+}
+
+// StatsFor summarizes a scale (memoized); feeds Table X.
+func StatsFor(s Scale) gen.Stats {
+	edgeMu.Lock()
+	if st, ok := statsMemo[s.Name]; ok {
+		edgeMu.Unlock()
+		return st
+	}
+	edgeMu.Unlock()
+	st := gen.Summarize(EdgesFor(s, false))
+	edgeMu.Lock()
+	statsMemo[s.Name] = st
+	edgeMu.Unlock()
+	return st
+}
+
+// MaxDegreeVertex returns the vertex with the largest out-degree (ties to
+// the smallest ID) — the BFS/SSSP source every engine shares. Under
+// degree-ordered storage this is exactly new ID 0.
+func MaxDegreeVertex(edges []graph.Edge) graph.VertexID {
+	n := int(graph.MaxID(edges)) + 1
+	deg := make([]uint32, n)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	best := 0
+	for v := 1; v < n; v++ {
+		if deg[v] > deg[best] {
+			best = v
+		}
+	}
+	return graph.VertexID(best)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// In-memory adjacency caching, an extension the paper lists as future
+// work ("our current implementation does not have many in-memory
+// optimizations", Section VI-E): iterative algorithms re-read the whole
+// adjacency file every iteration, so when the graph fits the leftover
+// memory budget the engine keeps each partition's adjacency bytes
+// resident after the first read and serves later iterations from memory,
+// eliminating the per-iteration edge IO that dominates small-graph runs.
+//
+// The cache is strictly budget-accounted: plan() enables it only when
+// the full adjacency fits alongside the index, pipeline buffers, message
+// buffers, and the largest partition's vertex states.
+
+// entrySource abstracts where the Worker's adjacency entries come from:
+// the Sio prefetcher (device) or the resident cache.
+type entrySource interface {
+	next() (graph.VertexID, error)
+	stop()
+}
+
+// memEntryStream serves adjacency entries from a resident byte slice.
+type memEntryStream struct {
+	data []byte
+	pos  int
+}
+
+func (s *memEntryStream) next() (graph.VertexID, error) {
+	if s.pos+4 > len(s.data) {
+		return 0, fmt.Errorf("core: cached adjacency exhausted early")
+	}
+	v := graph.VertexID(binary.LittleEndian.Uint32(s.data[s.pos:]))
+	s.pos += 4
+	return v, nil
+}
+
+func (s *memEntryStream) stop() {}
+
+// maybeEnableAdjCache decides (post-plan) whether the adjacency fits the
+// leftover budget and sets up the cache slots.
+func (e *Engine[V, M]) maybeEnableAdjCache() {
+	if !e.opts.CacheAdjacency {
+		return
+	}
+	p := int64(e.NumPartitions())
+	var maxPartVerts int64
+	for i := 0; i < e.NumPartitions(); i++ {
+		if n := int64(e.partStarts[i+1]-e.partStarts[i]) * int64(e.vsize); n > maxPartVerts {
+			maxPartVerts = n
+		}
+	}
+	used := e.layout.IndexBytes() + pipelineOverheadBytes +
+		p*int64(e.opts.MsgBufferBytes) + maxPartVerts
+	adjBytes := e.layout.NumEdges() * 4
+	if used+adjBytes <= e.opts.MemoryBudget {
+		e.adjCache = make([][]byte, e.NumPartitions())
+		e.cacheOn = true
+	}
+}
+
+// partitionEntrySource returns the adjacency source for partition p's
+// range [start, end) (in entries): the cache when resident, a caching
+// first read when enabled, or the Sio prefetcher.
+func (e *Engine[V, M]) partitionEntrySource(p int, start, end int64) (entrySource, error) {
+	if e.cacheOn {
+		if e.adjCache[p] == nil {
+			// First visit: one charged sequential read, then
+			// resident forever.
+			f, err := e.dev.Open(e.layout.EdgesFile())
+			if err != nil {
+				return nil, err
+			}
+			data := make([]byte, (end-start)*4)
+			r := storage.NewRangeReader(f, start*4, end*4)
+			if len(data) > 0 {
+				if err := r.ReadFull(data); err != nil {
+					return nil, fmt.Errorf("core: caching adjacency of partition %d: %w", p, err)
+				}
+			}
+			e.adjCache[p] = data
+		}
+		return &memEntryStream{data: e.adjCache[p]}, nil
+	}
+	return newEntryStream(e.dev, e.layout.EdgesFile(), start, end)
+}
+
+// AdjacencyCached reports whether the engine is serving adjacency from
+// memory (set after Run starts).
+func (e *Engine[V, M]) AdjacencyCached() bool { return e.cacheOn }

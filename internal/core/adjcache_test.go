@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+func TestAdjCacheSameResults(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 101)
+	g := buildDOS(t, edges)
+	_, plain := runMinLabel(t, g, Options{MemoryBudget: 64 << 20, DynamicMessages: true})
+	_, cached := runMinLabel(t, g, Options{MemoryBudget: 64 << 20, DynamicMessages: true, CacheAdjacency: true})
+	for i := range plain {
+		if plain[i] != cached[i] {
+			t.Fatalf("vertex %d differs with adjacency cache", i)
+		}
+	}
+}
+
+func TestAdjCacheCutsIO(t *testing.T) {
+	edges := gen.RMAT(8, 2000, gen.NaturalRMAT, 102)
+
+	run := func(cache bool) int64 {
+		dev := storage.NewDevice(storage.SSD, storage.Options{})
+		if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+			t.Fatal(err)
+		}
+		g, err := convertOn(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.ResetStats()
+		eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+			Options{MemoryBudget: 64 << 20, DynamicMessages: true, CacheAdjacency: cache, MaxIterations: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cache && !eng.AdjacencyCached() {
+			t.Fatal("cache should enable under a roomy budget")
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats().ReadBytes
+	}
+	without := run(false)
+	with := run(true)
+	// Six iterations re-read the adjacency five extra times without the
+	// cache.
+	if with >= without/2 {
+		t.Errorf("cache read %d bytes vs %d without; expected a large cut", with, without)
+	}
+}
+
+func TestAdjCacheAutoDisablesWhenTooBig(t *testing.T) {
+	edges := gen.RMAT(9, 4000, gen.NaturalRMAT, 103)
+	g := buildDOS(t, edges)
+	// Budget below adjacency size: the cache must auto-disable and the
+	// run still work.
+	budget := budgetForPartitions(g, 8, 2, 64)
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: budget, DynamicMessages: true, CacheAdjacency: true, MsgBufferBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.AdjacencyCached() {
+		t.Fatal("cache should not enable when adjacency exceeds the leftover budget")
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

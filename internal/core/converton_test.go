@@ -1,0 +1,11 @@
+package core
+
+import (
+	"graphz/internal/dos"
+	"graphz/internal/storage"
+)
+
+// convertOn converts the "raw" edge file already on dev into a DOS graph.
+func convertOn(dev *storage.Device) (*dos.Graph, error) {
+	return dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+}

@@ -1,0 +1,610 @@
+// Package core implements the GraphZ engine: an out-of-core,
+// vertex-centric graph runtime with ordered dynamic messages (the paper's
+// second contribution, Sections IV and V).
+//
+// The runtime divides the vertex space into partitions that fit the
+// memory budget and, per iteration, per partition:
+//
+//  1. MsgManager loads the partition's vertex states and applies any
+//     pending messages in their recorded order;
+//  2. Sio streams the partition's adjacency blocks off the device on a
+//     prefetch goroutine (a bounded queue, as in the paper);
+//  3. the Dispatcher parses blocks into per-vertex adjacency lists;
+//  4. the Worker calls update() on each vertex in ascending ID order and
+//     intercepts every message it sends: a message whose destination is
+//     in the resident partition is applied immediately (an ordered
+//     dynamic message); all others are buffered per destination
+//     partition and spilled to the device.
+//
+// Execution is asynchronous (updates see the freshest values) yet
+// deterministic: updates run in ID order and messages are applied in the
+// order they were sent, so every run of a given program and graph
+// performs the identical sequence of operations.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"graphz/internal/graph"
+	"graphz/internal/sim"
+	"graphz/internal/storage"
+)
+
+// Program is the user-supplied algorithm in GraphZ's programming model
+// (paper Algorithms 1-2): a vertex data type V, a message data type M, an
+// update function, and the apply_message function that gives messages
+// their dynamic behavior.
+type Program[V, M any] interface {
+	// Init produces the initial state of a vertex given its out-degree
+	// (called once, on the first iteration).
+	Init(id graph.VertexID, deg uint32) V
+	// Update is called on every vertex every iteration, in ascending
+	// ID order, with the vertex's out-neighbors.
+	Update(ctx *Context[M], id graph.VertexID, v *V, adj []graph.VertexID)
+	// Apply folds a message into the destination vertex — the paper's
+	// apply_message. It runs immediately for in-partition destinations
+	// and at partition load for spilled ones.
+	Apply(v *V, m M)
+}
+
+// Context is the per-update view of the runtime handed to Program.Update.
+type Context[M any] struct {
+	iteration int
+	send      func(dst graph.VertexID, m M)
+	active    *bool
+}
+
+// Iteration returns the current iteration number (0-based).
+func (c *Context[M]) Iteration() int { return c.iteration }
+
+// Send sends an ordered dynamic message to dst.
+func (c *Context[M]) Send(dst graph.VertexID, m M) { c.send(dst, m) }
+
+// MarkActive signals that the vertex's value changed this iteration;
+// the engine keeps iterating while any vertex is active or any message
+// flows.
+func (c *Context[M]) MarkActive() { *c.active = true }
+
+// Options configures an engine run.
+type Options struct {
+	// MemoryBudget bounds the engine-resident bytes: vertex index,
+	// partition vertex states, message buffers, and pipeline blocks.
+	MemoryBudget int64
+	// MaxIterations stops the run after this many iterations; 0 means
+	// run until convergence (no activity and no messages).
+	MaxIterations int
+	// Clock receives compute charges; nil disables accounting.
+	Clock *sim.Clock
+	// DynamicMessages enables the paper's ordered dynamic messages
+	// (apply in-partition messages immediately). When false — the
+	// Figure 7 "without DM" ablation — every message is spilled to the
+	// message store and applied on the destination partition's next
+	// load, like a static-message system.
+	DynamicMessages bool
+	// MsgBufferBytes is the in-memory buffer per destination partition
+	// before spilling; defaults to 64 KiB.
+	MsgBufferBytes int
+	// ParallelDrain applies a partition's pending messages with a
+	// worker pool guarded by a mutex pool (the paper's Section V-C).
+	// Requires Program.Apply to be commutative and associative; leave
+	// off for order-sensitive applies.
+	ParallelDrain bool
+	// CacheAdjacency keeps adjacency bytes resident after their first
+	// read when the whole graph fits the leftover budget, eliminating
+	// per-iteration edge IO (the in-memory optimization the paper
+	// defers to future work). Auto-disabled when it does not fit.
+	CacheAdjacency bool
+	// ConvergeOnInactivity stops the run as soon as an iteration ends
+	// with no vertex marked active, even if messages were sent. Use
+	// for programs that re-send unchanged state every round (like the
+	// Section IV-E GraphChi emulation) and whose updates are
+	// deterministic in (value, in-edges), so an inactive round can
+	// only be followed by inactive rounds.
+	ConvergeOnInactivity bool
+	// Name prefixes the engine's runtime files on the device; defaults
+	// to "graphz".
+	Name string
+}
+
+// DefaultOptions returns the standard configuration (dynamic messages on).
+func DefaultOptions(budget int64) Options {
+	return Options{MemoryBudget: budget, DynamicMessages: true}
+}
+
+// ErrMemoryBudget reports that a resident structure cannot fit the memory
+// budget — the failure mode that stops index-heavy systems on the xlarge
+// graph in the paper's Figure 5.
+var ErrMemoryBudget = errors.New("core: memory budget exceeded")
+
+// pipelineOverheadBytes approximates the fixed buffers of the
+// Sio/Dispatcher pipeline (prefetch blocks and staging).
+const pipelineOverheadBytes = (sioQueueDepth + 2) * storage.DefaultBlockSize
+
+// sioQueueDepth is the bounded-queue capacity between Sio and the Worker.
+const sioQueueDepth = 4
+
+// maxPartitions caps partitioning; a budget demanding more partitions
+// than this is treated as infeasible.
+const maxPartitions = 65536
+
+// Result summarizes a finished run.
+type Result struct {
+	Iterations      int
+	Partitions      int
+	MessagesSent    int64
+	MessagesApplied int64
+	MessagesSpilled int64 // messages that crossed the partition boundary to disk
+	UpdatesRun      int64
+}
+
+// Engine runs one Program over one Layout. Create with New, run with Run,
+// read results with Values or ValuesByOldID.
+type Engine[V, M any] struct {
+	layout Layout
+	prog   Program[V, M]
+	vcodec graph.Codec[V]
+	mcodec graph.Codec[M]
+	opts   Options
+
+	dev        *storage.Device
+	partStarts []graph.VertexID // partition p covers [partStarts[p], partStarts[p+1])
+	vsize      int
+	msize      int
+
+	// per-run state
+	verts    []V
+	adjCache [][]byte // resident adjacency per partition, when cacheOn
+	cacheOn  bool
+	msgBufs  [][]byte
+	active   bool
+	sent     int64
+	applied  int64
+	spilled  int64
+	updates  int64
+	finished bool
+	runErr   error // first deferred error from message spilling
+}
+
+// New validates the configuration and plans the partitioning. It returns
+// ErrMemoryBudget if the vertex index or a single partition cannot fit.
+func New[V, M any](layout Layout, prog Program[V, M], vcodec graph.Codec[V], mcodec graph.Codec[M], opts Options) (*Engine[V, M], error) {
+	if opts.Name == "" {
+		opts.Name = "graphz"
+	}
+	if opts.MsgBufferBytes <= 0 {
+		opts.MsgBufferBytes = 64 * 1024
+	}
+	// A buffer must hold at least a few records.
+	if minBuf := 4 * (4 + mcodec.Size()); opts.MsgBufferBytes < minBuf {
+		opts.MsgBufferBytes = minBuf
+	}
+	if opts.MemoryBudget <= 0 {
+		return nil, fmt.Errorf("core: memory budget must be positive")
+	}
+	e := &Engine[V, M]{
+		layout: layout,
+		prog:   prog,
+		vcodec: vcodec,
+		mcodec: mcodec,
+		opts:   opts,
+		dev:    layout.Device(),
+		vsize:  vcodec.Size(),
+		msize:  mcodec.Size(),
+	}
+	if err := e.plan(); err != nil {
+		return nil, err
+	}
+	e.maybeEnableAdjCache()
+	return e, nil
+}
+
+// plan chooses the partition count: the smallest P such that the index,
+// pipeline buffers, P message buffers, and one partition's vertex states
+// fit the budget, then splits the vertex space evenly.
+func (e *Engine[V, M]) plan() error {
+	n := int64(e.layout.NumVertices())
+	vertexBytes := n * int64(e.vsize)
+	fixed := e.layout.IndexBytes() + pipelineOverheadBytes
+	p := int64(1)
+	for {
+		avail := e.opts.MemoryBudget - fixed - p*int64(e.opts.MsgBufferBytes)
+		if avail <= 0 {
+			return fmt.Errorf("%w: index (%d B) and buffers exceed budget %d B",
+				ErrMemoryBudget, e.layout.IndexBytes(), e.opts.MemoryBudget)
+		}
+		need := (vertexBytes + avail - 1) / avail
+		if need < 1 {
+			need = 1
+		}
+		if need <= p {
+			break
+		}
+		p = need
+		if p > maxPartitions {
+			return fmt.Errorf("%w: %d vertices of %d B need more than %d partitions",
+				ErrMemoryBudget, n, e.vsize, maxPartitions)
+		}
+	}
+	// Even split of the vertex space into p ranges.
+	e.partStarts = make([]graph.VertexID, p+1)
+	for i := int64(0); i <= p; i++ {
+		e.partStarts[i] = graph.VertexID(i * n / p)
+	}
+	return nil
+}
+
+// NumPartitions returns the planned partition count.
+func (e *Engine[V, M]) NumPartitions() int { return len(e.partStarts) - 1 }
+
+// partitionOf returns the partition index containing vertex v. Partitions
+// are an even split, so this is arithmetic, not search.
+func (e *Engine[V, M]) partitionOf(v graph.VertexID) int {
+	p := len(e.partStarts) - 1
+	n := e.layout.NumVertices()
+	i := int(int64(v) * int64(p) / int64(n))
+	// The even split rounds; fix up by at most one step either way.
+	for i+1 < len(e.partStarts)-1 && v >= e.partStarts[i+1] {
+		i++
+	}
+	for i > 0 && v < e.partStarts[i] {
+		i--
+	}
+	return i
+}
+
+func (e *Engine[V, M]) vstateFile() string { return e.opts.Name + ".vstate" }
+
+func (e *Engine[V, M]) msgFile(p int) string {
+	return fmt.Sprintf("%s.msgs.%d", e.opts.Name, p)
+}
+
+func (e *Engine[V, M]) charge(n int64, cost time.Duration) {
+	if e.opts.Clock != nil {
+		e.opts.Clock.ComputeUnits(n, cost)
+	}
+}
+
+func (e *Engine[V, M]) chargeBytes(n int64) {
+	if e.opts.Clock != nil {
+		e.opts.Clock.ComputeBytes(n)
+	}
+}
+
+// Run executes the program to convergence or MaxIterations and leaves the
+// final vertex states in the engine's vertex-state file.
+func (e *Engine[V, M]) Run() (Result, error) {
+	if e.finished {
+		return Result{}, fmt.Errorf("core: engine already ran; create a new one")
+	}
+	if err := e.layout.LoadIndex(); err != nil {
+		return Result{}, err
+	}
+	nParts := e.NumPartitions()
+	e.msgBufs = make([][]byte, nParts)
+	if _, err := e.dev.Create(e.vstateFile()); err != nil {
+		return Result{}, err
+	}
+	for p := 0; p < nParts; p++ {
+		if _, err := e.dev.Create(e.msgFile(p)); err != nil {
+			return Result{}, err
+		}
+	}
+
+	iters := 0
+	for {
+		if e.opts.Clock != nil {
+			e.opts.Clock.BeginPhase(fmt.Sprintf("iter%d", iters))
+		}
+		e.active = false
+		sentBefore := e.sent
+		var pendingBefore int64
+		for p := 0; p < nParts; p++ {
+			pendingBefore += int64(len(e.msgBufs[p]))
+			sz, err := e.dev.Size(e.msgFile(p))
+			if err != nil {
+				return Result{}, err
+			}
+			pendingBefore += sz
+		}
+		for p := 0; p < nParts; p++ {
+			if err := e.runPartition(p, iters); err != nil {
+				return Result{}, err
+			}
+			if e.runErr != nil {
+				return Result{}, e.runErr
+			}
+		}
+		iters++
+		if e.opts.MaxIterations > 0 && iters >= e.opts.MaxIterations {
+			break
+		}
+		// Converged when nothing changed, nothing was sent this
+		// iteration, and nothing was pending from before — or, under
+		// ConvergeOnInactivity, as soon as nothing changed.
+		if !e.active && (e.opts.ConvergeOnInactivity ||
+			(e.sent == sentBefore && pendingBefore == 0)) {
+			break
+		}
+	}
+	e.finished = true
+	// Remove the message stores; the vertex states remain for Values.
+	for p := 0; p < nParts; p++ {
+		e.dev.Remove(e.msgFile(p))
+	}
+	return Result{
+		Iterations:      iters,
+		Partitions:      nParts,
+		MessagesSent:    e.sent,
+		MessagesApplied: e.applied,
+		MessagesSpilled: e.spilled,
+		UpdatesRun:      e.updates,
+	}, nil
+}
+
+// runPartition processes one partition for one iteration.
+func (e *Engine[V, M]) runPartition(p, iter int) error {
+	lo, hi := e.partStarts[p], e.partStarts[p+1]
+	count := int(hi - lo)
+	if count == 0 {
+		return nil
+	}
+
+	// --- MsgManager: load vertex states and apply pending messages ---
+	if err := e.loadVertices(lo, hi, iter); err != nil {
+		return err
+	}
+	if e.opts.ParallelDrain {
+		if err := e.drainMessagesParallel(p, lo); err != nil {
+			return err
+		}
+	} else if err := e.drainMessages(p, lo); err != nil {
+		return err
+	}
+
+	// --- Sio: adjacency entries, prefetched off the device or served
+	// from the resident cache ---
+	start := e.layout.OffsetOf(lo)
+	end := endOffset(e.layout, hi)
+	stream, err := e.partitionEntrySource(p, start, end)
+	if err != nil {
+		return err
+	}
+	defer stream.stop()
+
+	// --- Worker: update vertices in order, intercepting messages ---
+	active := false
+	ctx := &Context[M]{
+		iteration: iter,
+		active:    &active,
+	}
+	ctx.send = func(dst graph.VertexID, m M) {
+		e.sent++
+		e.charge(1, sim.CostMessageSend)
+		if e.opts.DynamicMessages && dst >= lo && dst < hi {
+			// Ordered dynamic message: the destination is
+			// resident — apply immediately.
+			e.prog.Apply(&e.verts[dst-lo], m)
+			e.applied++
+			e.charge(1, sim.CostMessageApply)
+			return
+		}
+		e.bufferMessage(dst, m)
+	}
+
+	var adj []graph.VertexID
+	for v := lo; v < hi; v++ {
+		deg := e.layout.DegreeOf(v)
+		adj = adj[:0]
+		for i := uint32(0); i < deg; i++ {
+			entry, err := stream.next()
+			if err != nil {
+				return fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
+			}
+			adj = append(adj, entry)
+		}
+		e.prog.Update(ctx, v, &e.verts[v-lo], adj)
+		e.updates++
+		e.charge(1, sim.CostVertexUpdate)
+		e.charge(int64(deg), sim.CostEdgeScan)
+	}
+	if active {
+		e.active = true
+	}
+
+	// Flush this partition's vertex states back to the device.
+	return e.storeVertices(lo, hi)
+}
+
+// loadVertices brings [lo, hi) into e.verts: decoded from the vertex
+// state file, or initialized via Program.Init on the first iteration.
+func (e *Engine[V, M]) loadVertices(lo, hi graph.VertexID, iter int) error {
+	count := int(hi - lo)
+	if cap(e.verts) < count {
+		e.verts = make([]V, count)
+	}
+	e.verts = e.verts[:count]
+	if iter == 0 {
+		for i := 0; i < count; i++ {
+			v := lo + graph.VertexID(i)
+			e.verts[i] = e.prog.Init(v, e.layout.DegreeOf(v))
+		}
+		e.charge(int64(count), sim.CostVertexUpdate)
+		return nil
+	}
+	f, err := e.dev.Open(e.vstateFile())
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, count*e.vsize)
+	r := storage.NewRangeReader(f, int64(lo)*int64(e.vsize), int64(hi)*int64(e.vsize))
+	if err := r.ReadFull(buf); err != nil {
+		return fmt.Errorf("core: loading vertex states [%d,%d): %w", lo, hi, err)
+	}
+	for i := 0; i < count; i++ {
+		e.verts[i] = e.vcodec.Decode(buf[i*e.vsize:])
+	}
+	e.chargeBytes(int64(len(buf)))
+	return nil
+}
+
+// storeVertices writes [lo, hi) back to the vertex state file.
+func (e *Engine[V, M]) storeVertices(lo, hi graph.VertexID) error {
+	count := int(hi - lo)
+	buf := make([]byte, count*e.vsize)
+	for i := 0; i < count; i++ {
+		e.vcodec.Encode(buf[i*e.vsize:], e.verts[i])
+	}
+	f, err := e.dev.Open(e.vstateFile())
+	if err != nil {
+		return err
+	}
+	w := storage.NewWriterAt(f, int64(lo)*int64(e.vsize))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	e.chargeBytes(int64(len(buf)))
+	return w.Flush()
+}
+
+// bufferMessage queues a message for a non-resident destination (or any
+// destination when dynamic messages are disabled), spilling the
+// destination partition's buffer when full.
+func (e *Engine[V, M]) bufferMessage(dst graph.VertexID, m M) {
+	p := e.partitionOf(dst)
+	rec := 4 + e.msize
+	buf := e.msgBufs[p]
+	if buf == nil {
+		buf = make([]byte, 0, e.opts.MsgBufferBytes)
+	}
+	n := len(buf)
+	buf = buf[:n+rec]
+	binary.LittleEndian.PutUint32(buf[n:], uint32(dst))
+	e.mcodec.Encode(buf[n+4:], m)
+	e.chargeBytes(int64(rec))
+	if len(buf)+rec > cap(buf) {
+		e.spillBuffer(p, buf)
+		buf = buf[:0]
+	}
+	e.msgBufs[p] = buf
+}
+
+// spillBuffer appends a full message buffer to the partition's message
+// file. Spill failures (e.g. device out of space) are recorded in runErr
+// and fail the run at the next partition boundary — Send has no error
+// return, matching the paper's API.
+func (e *Engine[V, M]) spillBuffer(p int, buf []byte) {
+	f, err := e.dev.Open(e.msgFile(p))
+	if err != nil {
+		if e.runErr == nil {
+			e.runErr = err
+		}
+		return
+	}
+	if _, err := f.Append(buf); err != nil {
+		if e.runErr == nil {
+			e.runErr = fmt.Errorf("core: spilling messages for partition %d: %w", p, err)
+		}
+		return
+	}
+	e.spilled += int64(len(buf) / (4 + e.msize))
+}
+
+// drainMessages applies partition p's pending messages — first the
+// spilled file, then the in-memory tail — in their original send order,
+// then clears both.
+func (e *Engine[V, M]) drainMessages(p int, lo graph.VertexID) error {
+	rec := 4 + e.msize
+	f, err := e.dev.Open(e.msgFile(p))
+	if err != nil {
+		return err
+	}
+	if f.Size()%int64(rec) != 0 {
+		return fmt.Errorf("core: message file %q torn (%d bytes, record %d)", e.msgFile(p), f.Size(), rec)
+	}
+	r := storage.NewReader(f)
+	buf := make([]byte, rec)
+	for {
+		err := r.ReadFull(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("core: draining messages for partition %d: %w", p, err)
+		}
+		e.applyRecord(buf, lo)
+	}
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	mem := e.msgBufs[p]
+	for off := 0; off+rec <= len(mem); off += rec {
+		e.applyRecord(mem[off:off+rec], lo)
+	}
+	if mem != nil {
+		e.msgBufs[p] = mem[:0]
+	}
+	return nil
+}
+
+func (e *Engine[V, M]) applyRecord(rec []byte, lo graph.VertexID) {
+	dst := graph.VertexID(binary.LittleEndian.Uint32(rec))
+	m := e.mcodec.Decode(rec[4:])
+	e.prog.Apply(&e.verts[dst-lo], m)
+	e.applied++
+	e.charge(1, sim.CostMessageApply)
+}
+
+// Values reads the final vertex states (by layout ID) after Run.
+func (e *Engine[V, M]) Values() ([]V, error) {
+	if !e.finished {
+		return nil, fmt.Errorf("core: Values before Run")
+	}
+	data, err := storage.ReadAllFile(e.dev, e.vstateFile())
+	if err != nil {
+		return nil, err
+	}
+	n := e.layout.NumVertices()
+	if len(data) != n*e.vsize {
+		return nil, fmt.Errorf("core: vertex state file has %d bytes, want %d", len(data), n*e.vsize)
+	}
+	out := make([]V, n)
+	for i := range out {
+		out[i] = e.vcodec.Decode(data[i*e.vsize:])
+	}
+	return out, nil
+}
+
+// ValuesByOldID returns the final vertex states keyed by original input
+// IDs: a map for DOS layouts (whose ID space is relabeled and dense) or a
+// direct slice copy for identity layouts.
+func (e *Engine[V, M]) ValuesByOldID() (map[graph.VertexID]V, error) {
+	vals, err := e.Values()
+	if err != nil {
+		return nil, err
+	}
+	n2o, err := e.layout.NewToOld()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.VertexID]V, len(vals))
+	for i, v := range vals {
+		if n2o == nil {
+			out[graph.VertexID(i)] = v
+		} else {
+			out[n2o[i]] = v
+		}
+	}
+	return out, nil
+}
+
+// Cleanup removes the engine's runtime files from the device.
+func (e *Engine[V, M]) Cleanup() {
+	e.dev.Remove(e.vstateFile())
+	for p := 0; p < e.NumPartitions(); p++ {
+		e.dev.Remove(e.msgFile(p))
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// minLabel is a connected-components-style test program: every vertex
+// starts with its own ID as label and the minimum label propagates along
+// out-edges until fixpoint. It exercises init, update, dynamic apply,
+// cross-partition spill, MarkActive, and convergence.
+type minVal struct {
+	label, pending uint32
+}
+
+type minValCodec struct{}
+
+func (minValCodec) Size() int { return 8 }
+
+func (minValCodec) Encode(b []byte, v minVal) {
+	binary.LittleEndian.PutUint32(b, v.label)
+	binary.LittleEndian.PutUint32(b[4:], v.pending)
+}
+
+func (minValCodec) Decode(b []byte) minVal {
+	return minVal{binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:])}
+}
+
+type minLabel struct{}
+
+func (minLabel) Init(id graph.VertexID, deg uint32) minVal {
+	return minVal{label: uint32(id), pending: uint32(id)}
+}
+
+func (minLabel) Update(ctx *Context[uint32], id graph.VertexID, v *minVal, adj []graph.VertexID) {
+	if ctx.Iteration() == 0 {
+		for _, a := range adj {
+			ctx.Send(a, v.label)
+		}
+		return
+	}
+	if v.pending < v.label {
+		v.label = v.pending
+		ctx.MarkActive()
+		for _, a := range adj {
+			ctx.Send(a, v.label)
+		}
+	}
+}
+
+func (minLabel) Apply(v *minVal, m uint32) {
+	if m < v.pending {
+		v.pending = m
+	}
+}
+
+// referenceMinLabels computes the fixpoint in memory over the layout's ID
+// space.
+func referenceMinLabels(n int, edges []graph.Edge) []uint32 {
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if labels[e.Src] < labels[e.Dst] {
+				labels[e.Dst] = labels[e.Src]
+				changed = true
+			}
+		}
+	}
+	return labels
+}
+
+// buildDOS converts edges on a fresh null device.
+func buildDOS(t *testing.T, edges []graph.Edge) *dos.Graph {
+	t.Helper()
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// relabeledEdges maps edges into the DOS graph's new ID space.
+func relabeledEdges(t *testing.T, g *dos.Graph, edges []graph.Edge) []graph.Edge {
+	t.Helper()
+	o2n, err := g.OldToNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = graph.Edge{Src: o2n[e.Src], Dst: o2n[e.Dst]}
+	}
+	return out
+}
+
+func runMinLabel(t *testing.T, g *dos.Graph, opts Options) (Result, []minVal) {
+	t.Helper()
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := eng.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Cleanup()
+	return res, vals
+}
+
+func TestEngineMinLabelSinglePartition(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 21)
+	g := buildDOS(t, edges)
+	res, vals := runMinLabel(t, g, Options{MemoryBudget: 64 << 20, DynamicMessages: true})
+	if res.Partitions != 1 {
+		t.Fatalf("partitions = %d, want 1 with a large budget", res.Partitions)
+	}
+	if res.MessagesSpilled != 0 {
+		t.Errorf("spilled %d messages with one partition and DM on", res.MessagesSpilled)
+	}
+	want := referenceMinLabels(g.NumVertices, relabeledEdges(t, g, edges))
+	for i := range want {
+		if vals[i].label != want[i] {
+			t.Fatalf("vertex %d label = %d, want %d", i, vals[i].label, want[i])
+		}
+	}
+	if res.UpdatesRun != int64(res.Iterations)*int64(g.NumVertices) {
+		t.Errorf("updates = %d over %d iterations of %d vertices",
+			res.UpdatesRun, res.Iterations, g.NumVertices)
+	}
+}
+
+// budgetForPartitions builds a memory budget that should yield roughly
+// wantP partitions for a graph with the given vertex state size.
+func budgetForPartitions(g *dos.Graph, vsize, wantP, msgBuf int64) int64 {
+	vertexBytes := int64(g.NumVertices) * vsize
+	avail := (vertexBytes + wantP - 1) / wantP
+	return pipelineOverheadBytes + g.IndexBytes() + avail + wantP*msgBuf
+}
+
+func TestEngineMinLabelManyPartitions(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 22)
+	g := buildDOS(t, edges)
+	// Budget sized for roughly four partitions.
+	budget := budgetForPartitions(g, 8, 4, 64)
+	res, vals := runMinLabel(t, g, Options{
+		MemoryBudget:    budget,
+		DynamicMessages: true,
+		MsgBufferBytes:  64,
+	})
+	if res.Partitions < 2 {
+		t.Fatalf("partitions = %d, want >= 2 under tight budget", res.Partitions)
+	}
+	if res.MessagesSpilled == 0 {
+		t.Error("expected cross-partition message spills")
+	}
+	want := referenceMinLabels(g.NumVertices, relabeledEdges(t, g, edges))
+	for i := range want {
+		if vals[i].label != want[i] {
+			t.Fatalf("vertex %d label = %d, want %d", i, vals[i].label, want[i])
+		}
+	}
+}
+
+func TestEngineStaticMessagesSameFixpoint(t *testing.T) {
+	edges := gen.RMAT(8, 1200, gen.NaturalRMAT, 23)
+	g := buildDOS(t, edges)
+	budget := budgetForPartitions(g, 8, 3, 64)
+	dynRes, dynVals := runMinLabel(t, g, Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 64})
+	statRes, statVals := runMinLabel(t, g, Options{MemoryBudget: budget, DynamicMessages: false, MsgBufferBytes: 64})
+	for i := range dynVals {
+		if dynVals[i].label != statVals[i].label {
+			t.Fatalf("vertex %d: dynamic %d vs static %d", i, dynVals[i].label, statVals[i].label)
+		}
+	}
+	// Static messages must spill strictly more (every message goes to
+	// the store, even in-partition ones).
+	if statRes.MessagesSpilled <= dynRes.MessagesSpilled {
+		t.Errorf("static spilled %d <= dynamic spilled %d",
+			statRes.MessagesSpilled, dynRes.MessagesSpilled)
+	}
+	// Dynamic messages should converge at least as fast.
+	if statRes.Iterations < dynRes.Iterations {
+		t.Errorf("static converged in %d iterations, dynamic took %d",
+			statRes.Iterations, dynRes.Iterations)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	edges := gen.RMAT(8, 1000, gen.NaturalRMAT, 24)
+	g := buildDOS(t, edges)
+	budget := budgetForPartitions(g, 8, 3, 64)
+	res1, vals1 := runMinLabel(t, g, Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 64})
+	res2, vals2 := runMinLabel(t, g, Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 64})
+	if res1 != res2 {
+		t.Errorf("results differ across runs: %+v vs %+v", res1, res2)
+	}
+	for i := range vals1 {
+		if vals1[i] != vals2[i] {
+			t.Fatalf("vertex %d state differs across runs", i)
+		}
+	}
+}
+
+func TestEngineMaxIterations(t *testing.T) {
+	edges := gen.RMAT(7, 500, gen.NaturalRMAT, 25)
+	g := buildDOS(t, edges)
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 64 << 20, DynamicMessages: true, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", res.Iterations)
+	}
+}
+
+func TestEngineRejectsTinyBudget(t *testing.T) {
+	edges := gen.RMAT(7, 500, gen.NaturalRMAT, 26)
+	g := buildDOS(t, edges)
+	_, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 100, DynamicMessages: true})
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Errorf("tiny budget error = %v, want ErrMemoryBudget", err)
+	}
+	_, err = New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 0})
+	if err == nil {
+		t.Error("zero budget should fail")
+	}
+}
+
+func TestEngineRunTwiceFails(t *testing.T) {
+	g := buildDOS(t, gen.RMAT(6, 200, gen.NaturalRMAT, 27))
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 64 << 20, DynamicMessages: true, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestEngineValuesBeforeRun(t *testing.T) {
+	g := buildDOS(t, gen.RMAT(6, 200, gen.NaturalRMAT, 28))
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 64 << 20, DynamicMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Values(); err == nil {
+		t.Error("Values before Run should fail")
+	}
+}
+
+func TestEngineValuesByOldID(t *testing.T) {
+	edges := []graph.Edge{{Src: 10, Dst: 20}, {Src: 20, Dst: 10}, {Src: 10, Dst: 30}}
+	g := buildDOS(t, edges)
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 64 << 20, DynamicMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	byOld, err := eng.ValuesByOldID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byOld) != 3 {
+		t.Fatalf("got %d old IDs: %v", len(byOld), byOld)
+	}
+	// The graph {10<->20, 10->30} propagates min over ancestors. In
+	// new-ID space: old 10 has degree 2 (new 0), old 20 degree 1 (new
+	// 1), old 30 degree 0 (new 2). Fixpoint: all labels 0.
+	for old, v := range byOld {
+		if v.label != 0 {
+			t.Errorf("old vertex %d label = %d, want 0", old, v.label)
+		}
+	}
+}
+
+func TestPartitionOfConsistent(t *testing.T) {
+	g := buildDOS(t, gen.RMAT(9, 3000, gen.NaturalRMAT, 29))
+	budget := budgetForPartitions(g, 8, 6, 64)
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumPartitions() < 2 {
+		t.Fatalf("want multiple partitions, got %d", eng.NumPartitions())
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		p := eng.partitionOf(graph.VertexID(v))
+		lo, hi := eng.partStarts[p], eng.partStarts[p+1]
+		if graph.VertexID(v) < lo || graph.VertexID(v) >= hi {
+			t.Fatalf("partitionOf(%d) = %d covering [%d,%d)", v, p, lo, hi)
+		}
+	}
+}
+
+func TestEngineConvergesWithoutMaxIters(t *testing.T) {
+	// A path graph 0->1->2->...->9 takes several iterations; the
+	// engine must stop by itself shortly after quiescence.
+	var edges []graph.Edge
+	for i := 0; i < 10; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)})
+	}
+	g := buildDOS(t, edges)
+	res, vals := runMinLabel(t, g, Options{MemoryBudget: 64 << 20, DynamicMessages: true})
+	if res.Iterations == 0 || res.Iterations > 15 {
+		t.Errorf("iterations = %d, want a small positive count", res.Iterations)
+	}
+	// All vertices on the path end up labeled with the head's new ID's
+	// minimum ancestor label.
+	want := referenceMinLabels(g.NumVertices, relabeledEdges(t, g, edges))
+	for i := range want {
+		if vals[i].label != want[i] {
+			t.Fatalf("vertex %d label = %d, want %d", i, vals[i].label, want[i])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// TestEngineSurfacesDeviceFull injects a capacity failure: the device
+// fills up mid-run while the engine spills messages, and the run must
+// fail with ErrNoSpace instead of silently dropping messages.
+func TestEngineSurfacesDeviceFull(t *testing.T) {
+	edges := gen.RMAT(9, 4000, gen.NaturalRMAT, 91)
+	// Convert on an unlimited staging device, then copy onto a small
+	// one so conversion temp files do not interfere with the test.
+	staging := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(staging, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dos.Convert(dos.ConvertConfig{Dev: staging, RemoveInput: true}, "raw", "g"); err != nil {
+		t.Fatal(err)
+	}
+	used := staging.Used()
+
+	// A capacity just above the converted graph plus vertex state:
+	// the message store will not fit.
+	g1, err := dos.Load(staging, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vstateBytes := int64(g1.NumVertices) * 8
+	tight := storage.NewDevice(storage.SSD, storage.Options{Capacity: used + vstateBytes + 2048})
+	for _, name := range staging.List() {
+		data, err := storage.ReadAllFile(staging, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := storage.WriteAll(tight, name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g2, err := dos.Load(tight, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budget := int64(pipelineOverheadBytes) + g2.IndexBytes() + int64(g2.NumVertices)*8/4 + 8*64
+	eng, err := New[minVal, uint32](DOSLayout(g2), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumPartitions() < 2 {
+		t.Skip("budget did not force partitioning; nothing spills")
+	}
+	_, err = eng.Run()
+	if err == nil {
+		t.Fatal("run on a full device should fail")
+	}
+	if !errors.Is(err, storage.ErrNoSpace) {
+		t.Errorf("error = %v, want ErrNoSpace in chain", err)
+	}
+}
+
+// TestEngineZeroVertexGraph runs the engine over an empty graph.
+func TestEngineZeroVertexGraph(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", nil); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 64 << 20, DynamicMessages: true, MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdatesRun != 0 {
+		t.Errorf("updates on empty graph = %d", res.UpdatesRun)
+	}
+	vals, err := eng.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 0 {
+		t.Errorf("values on empty graph = %v", vals)
+	}
+}
+
+// TestEngineSingleVertexSelfLoop exercises the smallest dynamic-message
+// cycle: one vertex messaging itself.
+func TestEngineSingleVertexSelfLoop(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", []graph.Edge{{Src: 7, Dst: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, vals := runMinLabel(t, g, Options{MemoryBudget: 64 << 20, DynamicMessages: true})
+	if len(vals) != 1 || vals[0].label != 0 {
+		t.Errorf("self-loop result = %+v", vals)
+	}
+	if res.MessagesApplied == 0 {
+		t.Error("self-loop should apply at least one dynamic message")
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// blockPool recycles Sio prefetch buffers; the repro environment's note
+// about Go GC pressure on edge buffers is real — per-block allocations
+// across every partition of every iteration would churn hundreds of MB.
+var blockPool = sync.Pool{
+	New: func() any { return make([]byte, storage.DefaultBlockSize) },
+}
+
+// entryStream is the Sio + Dispatcher pair of the paper's runtime
+// (Section V-A): a prefetch goroutine reads adjacency blocks sequentially
+// off the device and hands them to the consumer through a bounded queue,
+// so IO overlaps the Worker's computation; the consumer side parses the
+// blocks into adjacency entries (the Dispatcher's job) on demand.
+type entryStream struct {
+	blocks chan sioBlock
+	stopc  chan struct{}
+	cur    []byte
+	pos    int
+	err    error
+}
+
+type sioBlock struct {
+	data []byte
+	err  error
+}
+
+// newEntryStream starts a prefetcher over edge-entry range [start, end)
+// (in entries) of the named adjacency file.
+func newEntryStream(dev *storage.Device, file string, start, end int64) (*entryStream, error) {
+	f, err := dev.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	s := &entryStream{
+		blocks: make(chan sioBlock, sioQueueDepth),
+		stopc:  make(chan struct{}),
+	}
+	r := storage.NewRangeReader(f, start*4, end*4)
+	go func() {
+		defer close(s.blocks)
+		for {
+			buf := blockPool.Get().([]byte)
+			n, err := readChunk(r, buf)
+			if n > 0 {
+				select {
+				case s.blocks <- sioBlock{data: buf[:n]}:
+				case <-s.stopc:
+					return
+				}
+			} else {
+				blockPool.Put(buf) //nolint:staticcheck // slice header reuse is intended
+			}
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				select {
+				case s.blocks <- sioBlock{err: err}:
+				case <-s.stopc:
+				}
+				return
+			}
+		}
+	}()
+	return s, nil
+}
+
+// readChunk fills buf with as many whole bytes as available, returning
+// io.EOF when the range is exhausted.
+func readChunk(r *storage.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// next returns the next adjacency entry.
+func (s *entryStream) next() (graph.VertexID, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	for s.pos+4 > len(s.cur) {
+		// Entries never straddle blocks: block size is a multiple
+		// of the entry size and ranges are entry-aligned.
+		if s.cur != nil {
+			blockPool.Put(s.cur[:cap(s.cur)]) //nolint:staticcheck
+			s.cur = nil
+		}
+		blk, ok := <-s.blocks
+		if !ok {
+			s.err = fmt.Errorf("core: adjacency stream exhausted early")
+			return 0, s.err
+		}
+		if blk.err != nil {
+			s.err = blk.err
+			return 0, s.err
+		}
+		s.cur = blk.data
+		s.pos = 0
+	}
+	v := graph.VertexID(binary.LittleEndian.Uint32(s.cur[s.pos:]))
+	s.pos += 4
+	return v, nil
+}
+
+// stop shuts the prefetcher down, releasing queued buffers back to the
+// pool.
+func (s *entryStream) stop() {
+	close(s.stopc)
+	for blk := range s.blocks {
+		if blk.data != nil {
+			blockPool.Put(blk.data[:cap(blk.data)]) //nolint:staticcheck
+		}
+	}
+	if s.cur != nil {
+		blockPool.Put(s.cur[:cap(s.cur)]) //nolint:staticcheck
+		s.cur = nil
+	}
+}

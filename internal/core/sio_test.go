@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+func entryFile(t *testing.T, dev *storage.Device, name string, entries []uint32) {
+	t.Helper()
+	buf := make([]byte, 4*len(entries))
+	for i, e := range entries {
+		binary.LittleEndian.PutUint32(buf[4*i:], e)
+	}
+	if err := storage.WriteAll(dev, name, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryStreamReadsRange(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	entryFile(t, dev, "e", []uint32{10, 20, 30, 40, 50})
+	s, err := newEntryStream(dev, "e", 1, 4) // entries 20, 30, 40
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.stop()
+	for _, want := range []graph.VertexID{20, 30, 40} {
+		got, err := s.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("next = %d, want %d", got, want)
+		}
+	}
+	// Reading past the range errors.
+	if _, err := s.next(); err == nil {
+		t.Error("read past range should fail")
+	}
+	// And the error sticks.
+	if _, err := s.next(); err == nil {
+		t.Error("error should be sticky")
+	}
+}
+
+func TestEntryStreamStopMidway(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	// Enough data for many prefetch blocks.
+	entries := make([]uint32, 1<<19) // 2MB: 8 blocks
+	for i := range entries {
+		entries[i] = uint32(i)
+	}
+	entryFile(t, dev, "e", entries)
+	s, err := newEntryStream(dev, "e", 0, int64(len(entries)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.next(); err != nil {
+		t.Fatal(err)
+	}
+	// stop() must not deadlock even with the producer mid-flight.
+	s.stop()
+}
+
+func TestEntryStreamEmptyRange(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	entryFile(t, dev, "e", []uint32{1, 2, 3})
+	s, err := newEntryStream(dev, "e", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.stop()
+	if _, err := s.next(); err == nil {
+		t.Error("empty range should yield no entries")
+	}
+}
+
+func TestEntryStreamMissingFile(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if _, err := newEntryStream(dev, "missing", 0, 1); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestMemEntryStream(t *testing.T) {
+	data := make([]byte, 12)
+	binary.LittleEndian.PutUint32(data[0:], 7)
+	binary.LittleEndian.PutUint32(data[4:], 8)
+	binary.LittleEndian.PutUint32(data[8:], 9)
+	s := &memEntryStream{data: data}
+	for _, want := range []graph.VertexID{7, 8, 9} {
+		got, err := s.next()
+		if err != nil || got != want {
+			t.Fatalf("next = %d, %v; want %d", got, err, want)
+		}
+	}
+	if _, err := s.next(); err == nil {
+		t.Error("exhausted memory stream should fail")
+	}
+	s.stop() // no-op, must not panic
+}

@@ -1,0 +1,160 @@
+package csr
+
+import (
+	"sort"
+	"testing"
+
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+func buildEdges(t *testing.T, dev *storage.Device, edges []graph.Edge, prefix string) *Graph {
+	t.Helper()
+	if err := graph.WriteEdges(dev, prefix+".raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(BuildConfig{Dev: dev}, prefix+".raw", prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildSmall(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	edges := []graph.Edge{
+		{Src: 2, Dst: 0}, {Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 4, Dst: 4},
+	}
+	g := buildEdges(t, dev, edges, "g")
+	if g.NumVertices != 5 {
+		t.Errorf("NumVertices = %d, want 5 (maxID+1)", g.NumVertices)
+	}
+	if g.NumEdges != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges)
+	}
+	if err := g.LoadIndex(); err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := []uint32{2, 0, 1, 0, 1}
+	for v, want := range wantDeg {
+		if got := g.DegreeOf(graph.VertexID(v)); got != want {
+			t.Errorf("DegreeOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	adj, err := g.Adjacency(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adj) != 2 {
+		t.Fatalf("adjacency of 0 = %v", adj)
+	}
+	got := []graph.VertexID{adj[0], adj[1]}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("adjacency of 0 = %v, want {1,2}", got)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	g := buildEdges(t, dev, nil, "g")
+	if g.NumVertices != 0 || g.NumEdges != 0 {
+		t.Errorf("V=%d E=%d", g.NumVertices, g.NumEdges)
+	}
+	if err := g.LoadIndex(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexBytesScalesWithVertices(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	// One edge with a huge max ID: CSR pays for the whole ID space.
+	g := buildEdges(t, dev, []graph.Edge{{Src: 0, Dst: 9999}}, "g")
+	if g.NumVertices != 10000 {
+		t.Fatalf("NumVertices = %d", g.NumVertices)
+	}
+	if g.IndexBytes() != 10001*IndexEntryBytes {
+		t.Errorf("IndexBytes = %d", g.IndexBytes())
+	}
+}
+
+func TestAdjacencyRequiresIndex(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	g := buildEdges(t, dev, []graph.Edge{{Src: 0, Dst: 1}}, "g")
+	if _, err := g.Adjacency(0, nil); err == nil {
+		t.Error("Adjacency before LoadIndex should fail")
+	}
+	g.LoadIndex()
+	if _, err := g.Adjacency(99, nil); err == nil {
+		t.Error("out-of-range vertex should fail")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	g := buildEdges(t, dev, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}, "g")
+	g2, err := Load(dev, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices != g.NumVertices || g2.NumEdges != g.NumEdges {
+		t.Errorf("loaded %+v want %+v", g2, g)
+	}
+	if g2.IndexLoaded() {
+		t.Error("index should not be resident after Load")
+	}
+	if _, err := Load(dev, "missing"); err == nil {
+		t.Error("loading missing graph should fail")
+	}
+}
+
+// TestMatchesReference cross-checks CSR against in-memory adjacency on a
+// random graph.
+func TestMatchesReference(t *testing.T) {
+	edges := gen.RMAT(9, 4000, gen.NaturalRMAT, 11)
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	g := buildEdges(t, dev, edges, "g")
+	if err := g.LoadIndex(); err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[graph.VertexID][]graph.VertexID)
+	for _, e := range edges {
+		want[e.Src] = append(want[e.Src], e.Dst)
+	}
+	var buf []graph.VertexID
+	var total int64
+	for v := 0; v < g.NumVertices; v++ {
+		id := graph.VertexID(v)
+		deg := g.DegreeOf(id)
+		if int(deg) != len(want[id]) {
+			t.Fatalf("DegreeOf(%d) = %d, want %d", v, deg, len(want[id]))
+		}
+		total += int64(deg)
+		var err error
+		buf, err = g.Adjacency(id, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]graph.VertexID(nil), buf...)
+		exp := append([]graph.VertexID(nil), want[id]...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(exp, func(i, j int) bool { return exp[i] < exp[j] })
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("vertex %d adjacency mismatch", v)
+			}
+		}
+	}
+	if total != g.NumEdges {
+		t.Errorf("degree sum %d != NumEdges %d", total, g.NumEdges)
+	}
+	// Offsets are a prefix sum of degrees.
+	var acc int64
+	for v := 0; v < g.NumVertices; v++ {
+		if g.OffsetOf(graph.VertexID(v)) != acc {
+			t.Fatalf("OffsetOf(%d) = %d, want %d", v, g.OffsetOf(graph.VertexID(v)), acc)
+		}
+		acc += int64(g.DegreeOf(graph.VertexID(v)))
+	}
+}

@@ -1,0 +1,924 @@
+// Package dos implements Degree-Ordered Storage, the paper's first
+// contribution (Section III).
+//
+// Vertices are relabeled in descending out-degree order (ties broken by
+// original ID). The vertex index then collapses to one entry per *unique
+// degree*: the ids_table maps a degree to the smallest new ID having it,
+// and the id_offset_table maps a degree to the edge-file offset of that
+// first ID. Both tables are stored here as one slice of Buckets. A
+// vertex's adjacency location is computed, never stored:
+//
+//	offset(x) = id_offset_table[d] + (x - ids_table[d]) * d
+//
+// Because natural graphs have very few unique degrees (paper Claim 1:
+// |UD| <= 3*sqrt(E)), the index is typically kilobytes where CSR needs
+// gigabytes, so it always resides in memory and vertex lookup never
+// touches the disk.
+package dos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"graphz/internal/extsort"
+	"graphz/internal/graph"
+	"graphz/internal/sim"
+	"graphz/internal/storage"
+)
+
+// Bucket is one row of the combined ids/id-offset tables: the run of new
+// IDs [FirstID, nextBucket.FirstID) all have out-degree Degree, and the
+// adjacency list of FirstID starts at edge-entry offset FirstOff.
+type Bucket struct {
+	Degree   uint32
+	FirstID  graph.VertexID
+	FirstOff int64 // in 4-byte edge entries, not bytes
+}
+
+// BucketBytes is the in-memory (and on-disk meta) size of one Bucket.
+const BucketBytes = 16
+
+// EntryBytes is the size of one adjacency entry in the edges file (a
+// destination VertexID).
+const EntryBytes = 4
+
+// Graph is a degree-ordered graph resident on a device. The Buckets slice
+// is the entire vertex index; everything else stays on the device.
+type Graph struct {
+	dev    *storage.Device
+	prefix string
+
+	NumVertices int   // dense new-ID space (positive- plus zero-degree vertices)
+	NumEdges    int64 // adjacency entries in the edges file
+	MaxOldID    graph.VertexID
+	Buckets     []Bucket // ascending FirstID, descending Degree
+}
+
+// File name suffixes under the graph's prefix.
+const (
+	suffixEdges   = ".edges"   // dst entries grouped by new src, ascending
+	suffixMeta    = ".meta"    // counts + bucket table
+	suffixNew2Old = ".new2old" // u32 old ID per new ID
+	suffixOld2New = ".old2new" // u32 new ID per old ID (NoVertex for gaps)
+)
+
+// EdgesFile returns the device file name holding the adjacency entries.
+func (g *Graph) EdgesFile() string { return g.prefix + suffixEdges }
+
+// MetaFile returns the device file name holding the metadata.
+func (g *Graph) MetaFile() string { return g.prefix + suffixMeta }
+
+// Device returns the device the graph lives on.
+func (g *Graph) Device() *storage.Device { return g.dev }
+
+// Prefix returns the file-name prefix of the graph.
+func (g *Graph) Prefix() string { return g.prefix }
+
+// IndexBytes returns the resident size of the vertex index — the quantity
+// the paper's Table XI compares against CSR.
+func (g *Graph) IndexBytes() int64 { return int64(len(g.Buckets)) * BucketBytes }
+
+// UniqueDegrees returns the number of distinct out-degrees.
+func (g *Graph) UniqueDegrees() int { return len(g.Buckets) }
+
+// bucketOf returns the index of the bucket containing new ID x: the last
+// bucket with FirstID <= x.
+func (g *Graph) bucketOf(x graph.VertexID) (int, error) {
+	if int(x) >= g.NumVertices {
+		return 0, fmt.Errorf("dos: vertex %d out of range [0,%d)", x, g.NumVertices)
+	}
+	// First bucket with FirstID > x, minus one.
+	i := sort.Search(len(g.Buckets), func(i int) bool { return g.Buckets[i].FirstID > x })
+	return i - 1, nil
+}
+
+// Degree returns the out-degree of new ID x.
+func (g *Graph) Degree(x graph.VertexID) (uint32, error) {
+	b, err := g.bucketOf(x)
+	if err != nil {
+		return 0, err
+	}
+	return g.Buckets[b].Degree, nil
+}
+
+// EdgeOffset returns the edge-entry offset of x's adjacency list, using
+// the paper's arithmetic. The adjacency occupies entries
+// [EdgeOffset(x), EdgeOffset(x)+Degree(x)).
+func (g *Graph) EdgeOffset(x graph.VertexID) (int64, error) {
+	b, err := g.bucketOf(x)
+	if err != nil {
+		return 0, err
+	}
+	bk := g.Buckets[b]
+	return bk.FirstOff + int64(x-bk.FirstID)*int64(bk.Degree), nil
+}
+
+// Adjacency reads the out-neighbors of x (random access), appending to
+// dst and returning it.
+func (g *Graph) Adjacency(x graph.VertexID, dst []graph.VertexID) ([]graph.VertexID, error) {
+	b, err := g.bucketOf(x)
+	if err != nil {
+		return nil, err
+	}
+	deg := int(g.Buckets[b].Degree)
+	if deg == 0 {
+		return dst, nil
+	}
+	off := g.Buckets[b].FirstOff + int64(x-g.Buckets[b].FirstID)*int64(g.Buckets[b].Degree)
+	f, err := g.dev.Open(g.EdgesFile())
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, deg*EntryBytes)
+	n, err := f.ReadAt(buf, off*EntryBytes)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(buf) {
+		return nil, fmt.Errorf("dos: short adjacency read for vertex %d: %d of %d bytes", x, n, len(buf))
+	}
+	for i := 0; i < deg; i++ {
+		dst = append(dst, graph.VertexID(binary.LittleEndian.Uint32(buf[i*EntryBytes:])))
+	}
+	return dst, nil
+}
+
+// NewToOld loads the full new→old ID map (one u32 per new ID). Intended
+// for result extraction, not the inner loop.
+func (g *Graph) NewToOld() ([]graph.VertexID, error) {
+	data, err := storage.ReadAllFile(g.dev, g.prefix+suffixNew2Old)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]graph.VertexID, len(data)/4)
+	for i := range out {
+		out[i] = graph.VertexID(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return out, nil
+}
+
+// OldToNew loads the dense old→new ID map over [0, MaxOldID]. Old IDs
+// that name no vertex map to graph.NoVertex.
+func (g *Graph) OldToNew() ([]graph.VertexID, error) {
+	data, err := storage.ReadAllFile(g.dev, g.prefix+suffixOld2New)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]graph.VertexID, len(data)/4)
+	for i := range out {
+		out[i] = graph.VertexID(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return out, nil
+}
+
+// writeMeta persists counts and the bucket table.
+func (g *Graph) writeMeta() error {
+	buf := make([]byte, 32+len(g.Buckets)*BucketBytes)
+	binary.LittleEndian.PutUint64(buf[0:], metaMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(g.NumVertices))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(g.NumEdges))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(g.MaxOldID))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(len(g.Buckets)))
+	for i, b := range g.Buckets {
+		o := 32 + i*BucketBytes
+		binary.LittleEndian.PutUint32(buf[o:], b.Degree)
+		binary.LittleEndian.PutUint32(buf[o+4:], uint32(b.FirstID))
+		binary.LittleEndian.PutUint64(buf[o+8:], uint64(b.FirstOff))
+	}
+	return storage.WriteAll(g.dev, g.MetaFile(), buf)
+}
+
+const metaMagic = 0x5a6872_47534f44 // "DOSGhZ"-ish tag
+
+// Load opens a previously converted graph by prefix.
+func Load(dev *storage.Device, prefix string) (*Graph, error) {
+	buf, err := storage.ReadAllFile(dev, prefix+suffixMeta)
+	if err != nil {
+		return nil, fmt.Errorf("dos: loading meta: %w", err)
+	}
+	if len(buf) < 32 || binary.LittleEndian.Uint64(buf) != metaMagic {
+		return nil, fmt.Errorf("dos: %q is not a DOS meta file", prefix+suffixMeta)
+	}
+	g := &Graph{
+		dev:         dev,
+		prefix:      prefix,
+		NumVertices: int(binary.LittleEndian.Uint64(buf[8:])),
+		NumEdges:    int64(binary.LittleEndian.Uint64(buf[16:])),
+		MaxOldID:    graph.VertexID(binary.LittleEndian.Uint32(buf[24:])),
+	}
+	n := int(binary.LittleEndian.Uint32(buf[28:]))
+	if len(buf) != 32+n*BucketBytes {
+		return nil, fmt.Errorf("dos: meta file truncated: %d buckets claimed, %d bytes", n, len(buf))
+	}
+	g.Buckets = make([]Bucket, n)
+	for i := range g.Buckets {
+		o := 32 + i*BucketBytes
+		g.Buckets[i] = Bucket{
+			Degree:   binary.LittleEndian.Uint32(buf[o:]),
+			FirstID:  graph.VertexID(binary.LittleEndian.Uint32(buf[o+4:])),
+			FirstOff: int64(binary.LittleEndian.Uint64(buf[o+8:])),
+		}
+	}
+	return g, nil
+}
+
+// RangeEdgeReader returns a sequential reader over the adjacency entries
+// of the vertex range [lo, hi) — the access pattern of the engine's Sio
+// component — plus the entry offset the range starts at.
+func (g *Graph) RangeEdgeReader(lo, hi graph.VertexID) (*storage.Reader, int64, error) {
+	start, err := g.EdgeOffset(lo)
+	if err != nil {
+		return nil, 0, err
+	}
+	var end int64
+	if int(hi) >= g.NumVertices {
+		end = g.NumEdges
+	} else {
+		end, err = g.EdgeOffset(hi)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	f, err := g.dev.Open(g.EdgesFile())
+	if err != nil {
+		return nil, 0, err
+	}
+	return storage.NewRangeReader(f, start*EntryBytes, end*EntryBytes), start, nil
+}
+
+// ConvertConfig parameterizes the out-of-core conversion.
+type ConvertConfig struct {
+	Dev *storage.Device
+	// Clock receives compute charges; nil disables them.
+	Clock *sim.Clock
+	// MemoryBudget bounds the external sorts' in-memory chunks.
+	MemoryBudget int64
+	// RemoveInput deletes the raw edge file once the conversion no
+	// longer needs it, reducing the peak device footprint (useful on
+	// capacity-limited devices).
+	RemoveInput bool
+}
+
+// Convert runs the paper's Section III-C pipeline: build ⟨src,dst,deg⟩
+// triads, sort by (degree desc, src), relabel sources sequentially, sort
+// the ⟨new,old⟩ map by old ID, sort edges by destination and relabel
+// destinations by merge-join (assigning new IDs to zero-out-degree
+// vertices on the fly), then sort by new source and emit the final
+// adjacency file plus the ids/id-offset tables.
+//
+// Every pass is sequential over the device; only the bucket table (one
+// entry per unique degree) and the sort chunks are held in memory.
+func Convert(cfg ConvertConfig, edgeFile, prefix string) (*Graph, error) {
+	if cfg.MemoryBudget < extsort.MinMemoryBudget {
+		cfg.MemoryBudget = extsort.MinMemoryBudget
+	}
+	c := &converter{cfg: cfg, edgeFile: edgeFile, prefix: prefix}
+	g, err := c.run()
+	c.cleanup()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+type converter struct {
+	cfg      ConvertConfig
+	edgeFile string
+	prefix   string
+	temps    []string
+}
+
+func (c *converter) temp(name string) string {
+	t := c.prefix + ".tmp." + name
+	c.temps = append(c.temps, t)
+	return t
+}
+
+func (c *converter) cleanup() {
+	for _, t := range c.temps {
+		c.cfg.Dev.Remove(t)
+	}
+}
+
+// sort runs an external sort over converter-owned files; inputs are
+// deleted as soon as their runs are formed to bound the device footprint.
+func (c *converter) sort(recSz int, key func(rec []byte) uint64, in, out string) error {
+	return c.sortOpt(recSz, key, in, out, true)
+}
+
+func (c *converter) sortOpt(recSz int, key func(rec []byte) uint64, in, out string, removeInput bool) error {
+	return extsort.Sort(extsort.Config{
+		Dev:          c.cfg.Dev,
+		Clock:        c.cfg.Clock,
+		RecordSize:   recSz,
+		Key:          key,
+		MemoryBudget: c.cfg.MemoryBudget,
+		TempPrefix:   out + ".run",
+		RemoveInput:  removeInput,
+	}, in, out)
+}
+
+func (c *converter) charge(bytes int64) {
+	if c.cfg.Clock != nil {
+		c.cfg.Clock.ComputeBytes(bytes)
+	}
+}
+
+const triadBytes = 12
+
+// triadKeyDegSrc orders by degree descending (complemented into the high
+// word), then source ascending: the paper's "deg as 1st key and src as
+// 2nd key" with descending degree.
+func triadKeyDegSrc(rec []byte) uint64 {
+	deg := binary.LittleEndian.Uint32(rec[8:])
+	src := binary.LittleEndian.Uint32(rec)
+	return uint64(^deg)<<32 | uint64(src)
+}
+
+func edgeKeySrc(rec []byte) uint64 {
+	return uint64(binary.LittleEndian.Uint32(rec))
+}
+
+func edgeKeyDst(rec []byte) uint64 {
+	return uint64(binary.LittleEndian.Uint32(rec[4:]))
+}
+
+func pairKeyFirst(rec []byte) uint64 {
+	return uint64(binary.LittleEndian.Uint32(rec))
+}
+
+func (c *converter) run() (*Graph, error) {
+	dev := c.cfg.Dev
+
+	// Pass 1: annotate every edge with its source's out-degree,
+	// producing the paper's ⟨src, dst, deg⟩ triad list. Degrees are
+	// counted in a host-side array when the ID space is moderate (one
+	// sequential scan), falling back to an external sort by source for
+	// huge ID spaces.
+	triads := c.temp("triads")
+	maxOld, numEdges, err := c.buildTriads(c.edgeFile, triads)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.RemoveInput {
+		dev.Remove(c.edgeFile)
+	}
+
+	// Pass 2: sort triads by (degree desc, src asc) — the degree
+	// order — and relabel sources sequentially.
+	byDeg := c.temp("bydeg")
+	if err := c.sort(triadBytes, triadKeyDegSrc, triads, byDeg); err != nil {
+		return nil, fmt.Errorf("dos: sorting by degree: %w", err)
+	}
+	dev.Remove(triads)
+	edges2 := c.temp("edges2")    // (newsrc, olddst)
+	pairsIn := c.temp("pairs_in") // (old, new), unsorted
+	g := &Graph{dev: dev, prefix: c.prefix, NumEdges: numEdges, MaxOldID: maxOld}
+	numPositive, err := c.relabelSources(byDeg, edges2, pairsIn, g)
+	if err != nil {
+		return nil, err
+	}
+	dev.Remove(byDeg)
+
+	// Pass 3: sort the map by old ID for the destination merge-join.
+	pairsByOld := c.temp("pairs_byold")
+	if err := c.sort(8, pairKeyFirst, pairsIn, pairsByOld); err != nil {
+		return nil, fmt.Errorf("dos: sorting id map: %w", err)
+	}
+	dev.Remove(pairsIn)
+
+	// Pass 4: sort edges by destination and relabel destinations,
+	// assigning new IDs to zero-out-degree vertices as they appear.
+	byDst := c.temp("bydst")
+	if err := c.sort(graph.EdgeBytes, edgeKeyDst, edges2, byDst); err != nil {
+		return nil, fmt.Errorf("dos: sorting by dst: %w", err)
+	}
+	dev.Remove(edges2)
+	edges4 := c.temp("edges4")   // (newsrc, newdst)
+	zeroPairs := c.temp("zeros") // (old, new) of zero-degree vertices, sorted by old
+	numZero, err := c.relabelDestinations(byDst, pairsByOld, edges4, zeroPairs, numPositive)
+	if err != nil {
+		return nil, err
+	}
+	dev.Remove(byDst)
+	g.NumVertices = numPositive + numZero
+	if numZero > 0 {
+		g.Buckets = append(g.Buckets, Bucket{
+			Degree:   0,
+			FirstID:  graph.VertexID(numPositive),
+			FirstOff: numEdges,
+		})
+	}
+
+	// Pass 5: merge the two (old, new) pair streams into the dense
+	// old→new file, and append the zero-degree vertices' old IDs to
+	// the new→old file.
+	if err := c.emitMaps(pairsByOld, zeroPairs, g); err != nil {
+		return nil, err
+	}
+	dev.Remove(pairsByOld)
+	dev.Remove(zeroPairs)
+
+	// Pass 6: sort relabeled edges by new source and strip sources;
+	// what remains is the adjacency file, grouped by new ID.
+	finalSorted := c.temp("final")
+	if err := c.sort(graph.EdgeBytes, edgeKeySrc, edges4, finalSorted); err != nil {
+		return nil, fmt.Errorf("dos: final sort: %w", err)
+	}
+	dev.Remove(edges4)
+	if err := c.emitEdges(finalSorted, g); err != nil {
+		return nil, err
+	}
+	dev.Remove(finalSorted)
+
+	if err := g.writeMeta(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// hostDegreeCapIDs bounds the host-side degree array: ID spaces up to
+// this size (1 GiB of uint32 counters) are counted in memory during
+// preprocessing, exactly as GraphChi-class sharders do; larger spaces
+// fall back to an external sort by source.
+const hostDegreeCapIDs = 1 << 28
+
+// buildTriads emits the (src, dst, deg) triad list from the raw edges.
+func (c *converter) buildTriads(in, out string) (maxOld graph.VertexID, numEdges int64, err error) {
+	maxOld, numEdges, err = c.scanExtent(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	if int64(maxOld)+1 <= hostDegreeCapIDs {
+		err = c.buildTriadsCounted(in, out, maxOld, numEdges)
+		return maxOld, numEdges, err
+	}
+	err = c.buildTriadsSorted(in, out, numEdges)
+	return maxOld, numEdges, err
+}
+
+// scanExtent finds the maximum ID and edge count with one sequential
+// pass.
+func (c *converter) scanExtent(in string) (maxOld graph.VertexID, numEdges int64, err error) {
+	inF, err := c.cfg.Dev.Open(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := storage.NewReader(inF)
+	var ebuf [graph.EdgeBytes]byte
+	for {
+		rerr := r.ReadFull(ebuf[:])
+		if rerr == io.EOF {
+			return maxOld, numEdges, nil
+		}
+		if rerr != nil {
+			return 0, 0, fmt.Errorf("dos: scanning edges: %w", rerr)
+		}
+		e := graph.GetEdge(ebuf[:])
+		numEdges++
+		if e.Src > maxOld {
+			maxOld = e.Src
+		}
+		if e.Dst > maxOld {
+			maxOld = e.Dst
+		}
+	}
+}
+
+// buildTriadsCounted counts out-degrees into a host array with one scan,
+// then annotates every edge with its source degree in a second scan.
+func (c *converter) buildTriadsCounted(in, out string, maxOld graph.VertexID, numEdges int64) error {
+	deg := make([]uint32, int64(maxOld)+1)
+	inF, err := c.cfg.Dev.Open(in)
+	if err != nil {
+		return err
+	}
+	r := storage.NewReader(inF)
+	var ebuf [graph.EdgeBytes]byte
+	for {
+		rerr := r.ReadFull(ebuf[:])
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return fmt.Errorf("dos: counting degrees: %w", rerr)
+		}
+		deg[graph.GetEdge(ebuf[:]).Src]++
+	}
+	outF, err := c.cfg.Dev.Create(out)
+	if err != nil {
+		return err
+	}
+	w := storage.NewWriter(outF)
+	r = storage.NewReader(inF)
+	var buf [triadBytes]byte
+	for {
+		rerr := r.ReadFull(ebuf[:])
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return fmt.Errorf("dos: emitting triads: %w", rerr)
+		}
+		e := graph.GetEdge(ebuf[:])
+		binary.LittleEndian.PutUint32(buf[0:], uint32(e.Src))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.Dst))
+		binary.LittleEndian.PutUint32(buf[8:], deg[e.Src])
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	c.charge(numEdges * (graph.EdgeBytes + triadBytes))
+	return w.Flush()
+}
+
+// buildTriadsSorted is the fallback for huge ID spaces: sort edges by
+// source so each source's run is contiguous, then annotate runs with
+// their length.
+func (c *converter) buildTriadsSorted(in, out string, numEdges int64) error {
+	bySrc := c.temp("bysrc")
+	if err := c.sortOpt(graph.EdgeBytes, edgeKeySrc, in, bySrc, c.cfg.RemoveInput); err != nil {
+		return fmt.Errorf("dos: sorting by src: %w", err)
+	}
+	defer c.cfg.Dev.Remove(bySrc)
+	inF, err := c.cfg.Dev.Open(bySrc)
+	if err != nil {
+		return err
+	}
+	outF, err := c.cfg.Dev.Create(out)
+	if err != nil {
+		return err
+	}
+	w := storage.NewWriter(outF)
+	r := storage.NewReader(inF)
+
+	var runSrc graph.VertexID
+	var runDsts []graph.VertexID
+	flush := func() error {
+		var buf [triadBytes]byte
+		deg := uint32(len(runDsts))
+		for _, d := range runDsts {
+			binary.LittleEndian.PutUint32(buf[0:], uint32(runSrc))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(d))
+			binary.LittleEndian.PutUint32(buf[8:], deg)
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		runDsts = runDsts[:0]
+		return nil
+	}
+
+	var ebuf [graph.EdgeBytes]byte
+	first := true
+	for {
+		rerr := r.ReadFull(ebuf[:])
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return fmt.Errorf("dos: scanning sorted edges: %w", rerr)
+		}
+		e := graph.GetEdge(ebuf[:])
+		if first || e.Src != runSrc {
+			if !first {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			runSrc = e.Src
+			first = false
+		}
+		runDsts = append(runDsts, e.Dst)
+	}
+	if !first {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	c.charge(numEdges * (graph.EdgeBytes + triadBytes))
+	return w.Flush()
+}
+
+// relabelSources walks the degree-sorted triads assigning dense new IDs to
+// sources (0, 1, 2, ... in degree order), emitting (newsrc, olddst) edges,
+// (old, new) map records, the new→old file head, and the bucket table.
+func (c *converter) relabelSources(in, edgesOut, pairsOut string, g *Graph) (int, error) {
+	inF, err := c.cfg.Dev.Open(in)
+	if err != nil {
+		return 0, err
+	}
+	eF, err := c.cfg.Dev.Create(edgesOut)
+	if err != nil {
+		return 0, err
+	}
+	pF, err := c.cfg.Dev.Create(pairsOut)
+	if err != nil {
+		return 0, err
+	}
+	n2oF, err := c.cfg.Dev.Create(g.prefix + suffixNew2Old)
+	if err != nil {
+		return 0, err
+	}
+	r := storage.NewReader(inF)
+	ew := storage.NewWriter(eF)
+	pw := storage.NewWriter(pF)
+	nw := storage.NewWriter(n2oF)
+
+	var buf [triadBytes]byte
+	var out [8]byte
+	nextID := -1 // last assigned new ID
+	var curSrc graph.VertexID
+	var curDeg uint32
+	var edgeOff int64
+	var bytesScanned int64
+	for {
+		err := r.ReadFull(buf[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("dos: scanning triads: %w", err)
+		}
+		bytesScanned += triadBytes
+		src := graph.VertexID(binary.LittleEndian.Uint32(buf[0:]))
+		dst := binary.LittleEndian.Uint32(buf[4:])
+		deg := binary.LittleEndian.Uint32(buf[8:])
+		if nextID < 0 || src != curSrc {
+			nextID++
+			curSrc = src
+			// New bucket whenever the degree changes. Triads
+			// arrive in strictly descending degree order.
+			if len(g.Buckets) == 0 || g.Buckets[len(g.Buckets)-1].Degree != deg {
+				g.Buckets = append(g.Buckets, Bucket{
+					Degree:   deg,
+					FirstID:  graph.VertexID(nextID),
+					FirstOff: edgeOff,
+				})
+			}
+			curDeg = deg
+			// Map records.
+			binary.LittleEndian.PutUint32(out[0:], uint32(src))
+			binary.LittleEndian.PutUint32(out[4:], uint32(nextID))
+			if _, err := pw.Write(out[:]); err != nil {
+				return 0, err
+			}
+			binary.LittleEndian.PutUint32(out[0:4], uint32(src))
+			if _, err := nw.Write(out[0:4]); err != nil {
+				return 0, err
+			}
+			edgeOff += int64(curDeg)
+		}
+		binary.LittleEndian.PutUint32(out[0:], uint32(nextID))
+		binary.LittleEndian.PutUint32(out[4:], dst)
+		if _, err := ew.Write(out[:]); err != nil {
+			return 0, err
+		}
+	}
+	c.charge(bytesScanned)
+	if err := ew.Flush(); err != nil {
+		return 0, err
+	}
+	if err := pw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := nw.Flush(); err != nil {
+		return 0, err
+	}
+	return nextID + 1, nil
+}
+
+// pairStream iterates (a, b) u32 pair records.
+type pairStream struct {
+	r    *storage.Reader
+	a, b uint32
+	done bool
+}
+
+func newPairStream(dev *storage.Device, name string) (*pairStream, error) {
+	f, err := dev.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	s := &pairStream{r: storage.NewReader(f)}
+	return s, s.advance()
+}
+
+func (s *pairStream) advance() error {
+	var buf [8]byte
+	err := s.r.ReadFull(buf[:])
+	if err == io.EOF {
+		s.done = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s.a = binary.LittleEndian.Uint32(buf[0:])
+	s.b = binary.LittleEndian.Uint32(buf[4:])
+	return nil
+}
+
+// relabelDestinations merge-joins dst-sorted edges with the old-sorted ID
+// map. Destinations absent from the map have no out-edges; they are
+// assigned the next new IDs (after all positive-degree vertices) in
+// ascending old-ID order, exactly once each, and recorded in zeroPairs.
+func (c *converter) relabelDestinations(byDst, pairsByOld, edgesOut, zeroPairs string, numPositive int) (int, error) {
+	dev := c.cfg.Dev
+	inF, err := dev.Open(byDst)
+	if err != nil {
+		return 0, err
+	}
+	m, err := newPairStream(dev, pairsByOld)
+	if err != nil {
+		return 0, err
+	}
+	eF, err := dev.Create(edgesOut)
+	if err != nil {
+		return 0, err
+	}
+	zF, err := dev.Create(zeroPairs)
+	if err != nil {
+		return 0, err
+	}
+	r := storage.NewReader(inF)
+	ew := storage.NewWriter(eF)
+	zw := storage.NewWriter(zF)
+
+	numZero := 0
+	var lastDst uint32
+	var lastNew uint32
+	haveLast := false
+	var ebuf [graph.EdgeBytes]byte
+	var out [8]byte
+	var bytesScanned int64
+	for {
+		err := r.ReadFull(ebuf[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("dos: scanning dst-sorted edges: %w", err)
+		}
+		bytesScanned += graph.EdgeBytes
+		newSrc := binary.LittleEndian.Uint32(ebuf[0:])
+		dst := binary.LittleEndian.Uint32(ebuf[4:])
+		if !haveLast || dst != lastDst {
+			// Advance the map to dst.
+			for !m.done && m.a < dst {
+				if err := m.advance(); err != nil {
+					return 0, err
+				}
+			}
+			if !m.done && m.a == dst {
+				lastNew = m.b
+			} else {
+				// Zero-out-degree vertex: assign the next ID.
+				lastNew = uint32(numPositive + numZero)
+				numZero++
+				binary.LittleEndian.PutUint32(out[0:], dst)
+				binary.LittleEndian.PutUint32(out[4:], lastNew)
+				if _, err := zw.Write(out[:]); err != nil {
+					return 0, err
+				}
+			}
+			lastDst = dst
+			haveLast = true
+		}
+		binary.LittleEndian.PutUint32(out[0:], newSrc)
+		binary.LittleEndian.PutUint32(out[4:], lastNew)
+		if _, err := ew.Write(out[:]); err != nil {
+			return 0, err
+		}
+	}
+	c.charge(bytesScanned)
+	if err := ew.Flush(); err != nil {
+		return 0, err
+	}
+	return numZero, zw.Flush()
+}
+
+// emitMaps merges the positive-degree and zero-degree (old, new) streams
+// (both sorted by old ID) into the dense old→new file, and appends the
+// zero-degree old IDs to the new→old file (their new IDs are assigned in
+// ascending old-ID order, so appending preserves new-ID order).
+func (c *converter) emitMaps(pairsByOld, zeroPairs string, g *Graph) error {
+	dev := c.cfg.Dev
+	a, err := newPairStream(dev, pairsByOld)
+	if err != nil {
+		return err
+	}
+	b, err := newPairStream(dev, zeroPairs)
+	if err != nil {
+		return err
+	}
+	oF, err := dev.Create(g.prefix + suffixOld2New)
+	if err != nil {
+		return err
+	}
+	n2oF, err := dev.Open(g.prefix + suffixNew2Old)
+	if err != nil {
+		return err
+	}
+	ow := storage.NewWriter(oF)
+	nw := storage.NewWriterAt(n2oF, n2oF.Size())
+
+	var out [4]byte
+	next := uint32(0) // next old ID to emit
+	emitGapsTo := func(old uint32) error {
+		for ; next < old; next++ {
+			binary.LittleEndian.PutUint32(out[:], uint32(graph.NoVertex))
+			if _, err := ow.Write(out[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	emit := func(old, newID uint32, zero bool) error {
+		if err := emitGapsTo(old); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(out[:], newID)
+		if _, err := ow.Write(out[:]); err != nil {
+			return err
+		}
+		next = old + 1
+		if zero {
+			binary.LittleEndian.PutUint32(out[:], old)
+			if _, err := nw.Write(out[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for !a.done || !b.done {
+		switch {
+		case b.done || (!a.done && a.a < b.a):
+			if err := emit(a.a, a.b, false); err != nil {
+				return err
+			}
+			if err := a.advance(); err != nil {
+				return err
+			}
+		default:
+			if err := emit(b.a, b.b, true); err != nil {
+				return err
+			}
+			if err := b.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := emitGapsTo(uint32(g.MaxOldID) + 1); err != nil {
+		return err
+	}
+	if err := ow.Flush(); err != nil {
+		return err
+	}
+	return nw.Flush()
+}
+
+// emitEdges strips sources from the final src-sorted edge file, leaving
+// the packed adjacency entries, and validates per-vertex counts against
+// the bucket table.
+func (c *converter) emitEdges(finalSorted string, g *Graph) error {
+	dev := c.cfg.Dev
+	inF, err := dev.Open(finalSorted)
+	if err != nil {
+		return err
+	}
+	outF, err := dev.Create(g.EdgesFile())
+	if err != nil {
+		return err
+	}
+	r := storage.NewReader(inF)
+	w := storage.NewWriter(outF)
+	var ebuf [graph.EdgeBytes]byte
+	var entries int64
+	var prevSrc uint32
+	for {
+		err := r.ReadFull(ebuf[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("dos: emitting edges: %w", err)
+		}
+		src := binary.LittleEndian.Uint32(ebuf[0:])
+		if src < prevSrc {
+			return fmt.Errorf("dos: final edges not sorted: src %d after %d", src, prevSrc)
+		}
+		prevSrc = src
+		if _, err := w.Write(ebuf[4:8]); err != nil {
+			return err
+		}
+		entries++
+	}
+	if entries != g.NumEdges {
+		return fmt.Errorf("dos: emitted %d entries, expected %d", entries, g.NumEdges)
+	}
+	c.charge(entries * graph.EdgeBytes)
+	return w.Flush()
+}

@@ -1,0 +1,48 @@
+package dos_test
+
+import (
+	"fmt"
+	"log"
+
+	"graphz/internal/dos"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// ExampleConvert converts the paper's style of worked example (Section
+// III-B): sparse original IDs, a zero-out-degree vertex, and degree ties,
+// then reads a vertex's adjacency through the computed index.
+func ExampleConvert() {
+	edges := []graph.Edge{
+		{Src: 5, Dst: 2}, {Src: 5, Dst: 9}, {Src: 5, Dst: 12},
+		{Src: 2, Dst: 5}, {Src: 2, Dst: 9},
+		{Src: 9, Dst: 5},
+		{Src: 14, Dst: 9},
+	}
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		log.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "ex")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("vertices=%d edges=%d uniqueDegrees=%d indexBytes=%d\n",
+		g.NumVertices, g.NumEdges, g.UniqueDegrees(), g.IndexBytes())
+	for _, b := range g.Buckets {
+		fmt.Printf("degree %d starts at id %d, edge offset %d\n",
+			b.Degree, b.FirstID, b.FirstOff)
+	}
+	// Vertex 3 (original ID 14): offset = 5 + (3-2)*1 = 6.
+	off, _ := g.EdgeOffset(3)
+	adj, _ := g.Adjacency(3, nil)
+	fmt.Printf("vertex 3: offset=%d adjacency=%v\n", off, adj)
+	// Output:
+	// vertices=5 edges=7 uniqueDegrees=4 indexBytes=64
+	// degree 3 starts at id 0, edge offset 0
+	// degree 2 starts at id 1, edge offset 3
+	// degree 1 starts at id 2, edge offset 5
+	// degree 0 starts at id 4, edge offset 7
+	// vertex 3: offset=6 adjacency=[2]
+}

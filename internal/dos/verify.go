@@ -1,0 +1,160 @@
+package dos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// Verify checks a converted graph's structural invariants, streaming the
+// on-device files once. It validates what the offset arithmetic silently
+// assumes, so a corrupted or hand-edited graph fails loudly instead of
+// returning wrong adjacencies:
+//
+//   - buckets are ordered: FirstID strictly increasing, Degree strictly
+//     decreasing, FirstOff consistent with the degree arithmetic;
+//   - the edge file holds exactly NumEdges in-range destination entries;
+//   - the new→old map has NumVertices entries and the old→new map inverts
+//     it, with every non-vertex old ID marked NoVertex;
+//   - the summed bucket degrees equal NumEdges.
+func Verify(g *Graph) error {
+	if err := verifyBuckets(g); err != nil {
+		return err
+	}
+	if err := verifyEdges(g); err != nil {
+		return err
+	}
+	return verifyMaps(g)
+}
+
+func verifyBuckets(g *Graph) error {
+	if g.NumVertices == 0 {
+		if len(g.Buckets) != 0 || g.NumEdges != 0 {
+			return fmt.Errorf("dos: empty graph with %d buckets, %d edges", len(g.Buckets), g.NumEdges)
+		}
+		return nil
+	}
+	if len(g.Buckets) == 0 {
+		return fmt.Errorf("dos: %d vertices but no buckets", g.NumVertices)
+	}
+	if g.Buckets[0].FirstID != 0 || g.Buckets[0].FirstOff != 0 {
+		return fmt.Errorf("dos: first bucket starts at id %d, offset %d",
+			g.Buckets[0].FirstID, g.Buckets[0].FirstOff)
+	}
+	var total int64
+	for i, b := range g.Buckets {
+		end := graph.VertexID(g.NumVertices)
+		if i+1 < len(g.Buckets) {
+			next := g.Buckets[i+1]
+			if next.FirstID <= b.FirstID {
+				return fmt.Errorf("dos: bucket %d FirstID %d not increasing", i+1, next.FirstID)
+			}
+			if next.Degree >= b.Degree {
+				return fmt.Errorf("dos: bucket %d degree %d not decreasing", i+1, next.Degree)
+			}
+			end = next.FirstID
+			wantOff := b.FirstOff + int64(end-b.FirstID)*int64(b.Degree)
+			if next.FirstOff != wantOff {
+				return fmt.Errorf("dos: bucket %d FirstOff %d, arithmetic says %d",
+					i+1, next.FirstOff, wantOff)
+			}
+		}
+		total += int64(end-b.FirstID) * int64(b.Degree)
+	}
+	if total != g.NumEdges {
+		return fmt.Errorf("dos: bucket degrees sum to %d, NumEdges is %d", total, g.NumEdges)
+	}
+	return nil
+}
+
+func verifyEdges(g *Graph) error {
+	f, err := g.dev.Open(g.EdgesFile())
+	if err != nil {
+		return err
+	}
+	if f.Size() != g.NumEdges*EntryBytes {
+		return fmt.Errorf("dos: edge file has %d bytes, want %d", f.Size(), g.NumEdges*EntryBytes)
+	}
+	r := storage.NewReader(f)
+	var buf [EntryBytes]byte
+	for i := int64(0); i < g.NumEdges; i++ {
+		if err := r.ReadFull(buf[:]); err != nil {
+			return fmt.Errorf("dos: edge file truncated at entry %d: %w", i, err)
+		}
+		dst := binary.LittleEndian.Uint32(buf[:])
+		if int(dst) >= g.NumVertices {
+			return fmt.Errorf("dos: entry %d destination %d out of range [0,%d)", i, dst, g.NumVertices)
+		}
+	}
+	return nil
+}
+
+func verifyMaps(g *Graph) error {
+	n2oF, err := g.dev.Open(g.prefix + suffixNew2Old)
+	if err != nil {
+		return err
+	}
+	if n2oF.Size() != int64(g.NumVertices)*4 {
+		return fmt.Errorf("dos: new2old has %d bytes, want %d", n2oF.Size(), g.NumVertices*4)
+	}
+	o2nF, err := g.dev.Open(g.prefix + suffixOld2New)
+	if err != nil {
+		return err
+	}
+	wantOld := int64(g.MaxOldID) + 1
+	if g.NumVertices == 0 {
+		wantOld = o2nF.Size() / 4 // empty graphs have a degenerate map
+	}
+	if o2nF.Size() != wantOld*4 {
+		return fmt.Errorf("dos: old2new has %d bytes, want %d", o2nF.Size(), wantOld*4)
+	}
+
+	// Stream old2new, counting vertices and checking ranges; then
+	// stream new2old verifying the inverse through point reads of
+	// old2new (block reads keep this O(V) with buffered IO).
+	r := storage.NewReader(o2nF)
+	var buf [4]byte
+	count := 0
+	for {
+		err := r.ReadFull(buf[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		newID := graph.VertexID(binary.LittleEndian.Uint32(buf[:]))
+		if newID == graph.NoVertex {
+			continue
+		}
+		if int(newID) >= g.NumVertices {
+			return fmt.Errorf("dos: old2new maps to %d, out of range", newID)
+		}
+		count++
+	}
+	if count != g.NumVertices {
+		return fmt.Errorf("dos: old2new names %d vertices, want %d", count, g.NumVertices)
+	}
+	rn := storage.NewReader(n2oF)
+	for newID := 0; newID < g.NumVertices; newID++ {
+		if err := rn.ReadFull(buf[:]); err != nil {
+			return err
+		}
+		old := int64(binary.LittleEndian.Uint32(buf[:]))
+		if old > int64(g.MaxOldID) {
+			return fmt.Errorf("dos: new2old[%d] = %d exceeds MaxOldID %d", newID, old, g.MaxOldID)
+		}
+		var inv [4]byte
+		if _, err := o2nF.ReadAt(inv[:], old*4); err != nil {
+			return err
+		}
+		if got := binary.LittleEndian.Uint32(inv[:]); got != uint32(newID) {
+			return fmt.Errorf("dos: maps disagree: new2old[%d]=%d but old2new[%d]=%d",
+				newID, old, old, got)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package dos
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+func TestVerifyConvertedGraphs(t *testing.T) {
+	cases := map[string][]graph.Edge{
+		"paper":  paperEdges,
+		"rmat":   gen.RMAT(9, 3000, gen.NaturalRMAT, 131),
+		"zipf":   gen.Zipf(400, 3000, 0.9, 132),
+		"er":     gen.ErdosRenyi(100, 600, 133),
+		"grid":   gen.Grid(20, 20),
+		"single": {{Src: 3, Dst: 9}},
+		"empty":  nil,
+	}
+	for name, edges := range cases {
+		dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+		g := convertEdges(t, dev, edges, "g")
+		if err := Verify(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	g := convertEdges(t, dev, paperEdges, "g")
+
+	// Corrupt a bucket's offset.
+	g.Buckets[1].FirstOff++
+	if err := Verify(g); err == nil || !strings.Contains(err.Error(), "arithmetic") {
+		t.Errorf("corrupted bucket offset not caught: %v", err)
+	}
+	g.Buckets[1].FirstOff--
+
+	// Corrupt an edge entry to an out-of-range destination.
+	f, err := dev.Open(g.EdgesFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig [4]byte
+	f.ReadAt(orig[:], 0)
+	f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0x7F}, 0)
+	if err := Verify(g); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("corrupted edge entry not caught: %v", err)
+	}
+	f.WriteAt(orig[:], 0)
+
+	// Truncate the edge file.
+	if err := f.Truncate(f.Size() - 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g); err == nil {
+		t.Error("truncated edge file not caught")
+	}
+}
+
+func TestVerifyDetectsMapCorruption(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	g := convertEdges(t, dev, paperEdges, "g")
+	f, err := dev.Open("g.new2old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point new ID 0 at a different old ID than old2new claims.
+	f.WriteAt([]byte{9, 0, 0, 0}, 0) // old 9 is a real vertex, but maps to new 2
+	if err := Verify(g); err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Errorf("map disagreement not caught: %v", err)
+	}
+}
+
+func TestVerifyDetectsBucketSumMismatch(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	g := convertEdges(t, dev, paperEdges, "g")
+	g.NumEdges++
+	if err := Verify(g); err == nil || !strings.Contains(err.Error(), "sum") {
+		t.Errorf("edge-count mismatch not caught: %v", err)
+	}
+}
+
+// TestQuickConvertThenVerify fuzzes the conversion pipeline against the
+// integrity checker on arbitrary small graphs.
+func TestQuickConvertThenVerify(t *testing.T) {
+	check := func(seed uint64, n uint8, m uint16) bool {
+		vertices := 2 + int(n)%120
+		edges := gen.ErdosRenyi(vertices, 1+int(m)%500, seed)
+		dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+		if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+			return false
+		}
+		g, err := Convert(ConvertConfig{Dev: dev, MemoryBudget: 1 + int64(m)}, "raw", "g")
+		if err != nil {
+			t.Logf("convert: %v", err)
+			return false
+		}
+		if err := Verify(g); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quickCheck20(check); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickCheck20 runs testing/quick with a modest count (each case does a
+// full external conversion).
+func quickCheck20(f any) error {
+	return quick.Check(f, &quick.Config{MaxCount: 20})
+}

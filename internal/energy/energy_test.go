@@ -1,0 +1,82 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"graphz/internal/sim"
+	"graphz/internal/storage"
+)
+
+func TestMeasureBasics(t *testing.T) {
+	c := sim.NewClock()
+	c.Compute(2 * time.Second)
+	c.IO(10 * time.Second)
+	r := Measure(c, storage.HDD)
+	if r.Wall != 10*time.Second {
+		t.Errorf("Wall = %v, want 10s", r.Wall)
+	}
+	want := IdleWatts*10 + CPUActiveWatts*2 + HDDActiveWatts*10
+	if math.Abs(r.Energy-want) > 1e-6 {
+		t.Errorf("Energy = %v, want %v", r.Energy, want)
+	}
+	if math.Abs(r.AvgPower-want/10) > 1e-6 {
+		t.Errorf("AvgPower = %v, want %v", r.AvgPower, want/10)
+	}
+}
+
+func TestMeasureEmptyClock(t *testing.T) {
+	r := Measure(sim.NewClock(), storage.SSD)
+	if r != (Report{}) {
+		t.Errorf("empty clock report = %+v, want zero", r)
+	}
+}
+
+func TestHDDCostsMoreThanSSD(t *testing.T) {
+	c := sim.NewClock()
+	c.Compute(time.Second)
+	c.IO(5 * time.Second)
+	hdd := Measure(c, storage.HDD)
+	ssd := Measure(c, storage.SSD)
+	if hdd.Energy <= ssd.Energy {
+		t.Errorf("HDD energy %v should exceed SSD energy %v for identical runs",
+			hdd.Energy, ssd.Energy)
+	}
+}
+
+func TestLessIOMeansLessEnergy(t *testing.T) {
+	// Two runs with the same compute; the one with less IO must use
+	// less energy — this is the mechanism behind the paper's Table
+	// XIII.
+	heavy := sim.NewClock()
+	heavy.Compute(2 * time.Second)
+	heavy.IO(20 * time.Second)
+	light := sim.NewClock()
+	light.Compute(2 * time.Second)
+	light.IO(3 * time.Second)
+	if Measure(light, storage.SSD).Energy >= Measure(heavy, storage.SSD).Energy {
+		t.Error("lighter-IO run should consume less energy")
+	}
+}
+
+func TestAvgPowerBounded(t *testing.T) {
+	// Average power can never exceed idle + cpu + device (all fully
+	// busy) nor drop below idle.
+	c := sim.NewClock()
+	c.Compute(3 * time.Second)
+	c.IO(4 * time.Second)
+	r := Measure(c, storage.HDD)
+	maxP := IdleWatts + CPUActiveWatts + HDDActiveWatts
+	if r.AvgPower < IdleWatts || r.AvgPower > maxP {
+		t.Errorf("AvgPower = %v outside [%v, %v]", r.AvgPower, IdleWatts, maxP)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := sim.NewClock()
+	c.Compute(time.Second)
+	if s := Measure(c, storage.SSD).String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+
+	"graphz/internal/storage"
+)
+
+// WriteEdges stores edges as fixed-size records in the named device file,
+// the raw edge-list format every preprocessing pipeline starts from.
+func WriteEdges(dev *storage.Device, name string, edges []Edge) error {
+	f, err := dev.Create(name)
+	if err != nil {
+		return err
+	}
+	w := storage.NewWriter(f)
+	var buf [EdgeBytes]byte
+	for _, e := range edges {
+		PutEdge(buf[:], e)
+		if _, err := w.Write(buf[:]); err != nil {
+			return fmt.Errorf("graph: writing edges to %q: %w", name, err)
+		}
+	}
+	return w.Flush()
+}
+
+// ReadEdges loads all edges from the named device file.
+func ReadEdges(dev *storage.Device, name string) ([]Edge, error) {
+	f, err := dev.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	size := f.Size()
+	if size%EdgeBytes != 0 {
+		return nil, fmt.Errorf("graph: %q size %d is not a multiple of %d", name, size, EdgeBytes)
+	}
+	edges := make([]Edge, 0, size/EdgeBytes)
+	r := storage.NewReader(f)
+	var buf [EdgeBytes]byte
+	for {
+		err := r.ReadFull(buf[:])
+		if err == io.EOF {
+			return edges, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edges from %q: %w", name, err)
+		}
+		edges = append(edges, GetEdge(buf[:]))
+	}
+}
+
+// EdgeScanner streams edges from a device file without loading them all,
+// the access pattern out-of-core preprocessing uses.
+type EdgeScanner struct {
+	r   *storage.Reader
+	cur Edge
+	err error
+}
+
+// NewEdgeScanner returns a scanner over the whole file.
+func NewEdgeScanner(f *storage.File) *EdgeScanner {
+	return &EdgeScanner{r: storage.NewReader(f)}
+}
+
+// Scan advances to the next edge, returning false at EOF or error.
+func (s *EdgeScanner) Scan() bool {
+	var buf [EdgeBytes]byte
+	err := s.r.ReadFull(buf[:])
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.cur = GetEdge(buf[:])
+	return true
+}
+
+// Edge returns the current edge.
+func (s *EdgeScanner) Edge() Edge { return s.cur }
+
+// Err returns the first non-EOF error encountered.
+func (s *EdgeScanner) Err() error { return s.err }

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"testing"
+
+	"graphz/internal/storage"
+)
+
+func TestWriteReadEdges(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	edges := []Edge{{0, 1}, {2, 3}, {4, 0}}
+	if err := WriteEdges(dev, "e", edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdges(dev, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("got %d edges", len(got))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Errorf("edge %d: got %v, want %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestReadEdgesTorn(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := storage.WriteAll(dev, "bad", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEdges(dev, "bad"); err == nil {
+		t.Error("torn edge file should fail")
+	}
+	if _, err := ReadEdges(dev, "missing"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestEdgeScanner(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	edges := []Edge{{1, 2}, {3, 4}}
+	if err := WriteEdges(dev, "e", edges); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dev.Open("e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewEdgeScanner(f)
+	var got []Edge
+	for s.Scan() {
+		got = append(got, s.Edge())
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if len(got) != 2 || got[0] != edges[0] || got[1] != edges[1] {
+		t.Errorf("scanned %v", got)
+	}
+}

@@ -1,0 +1,44 @@
+package graph
+
+// Pair is a two-field value with a ready-made codec. Most vertex states
+// in message-driven algorithms are a (current, pending) pair — a rank
+// and its vote accumulator, a level and its best proposal — so the
+// framework ships this so user programs do not hand-roll codecs.
+type Pair[A, B any] struct {
+	A A
+	B B
+}
+
+// PairCodec combines two codecs into a codec for Pair[A, B].
+type PairCodec[A, B any] struct {
+	CA Codec[A]
+	CB Codec[B]
+}
+
+func (c PairCodec[A, B]) Size() int { return c.CA.Size() + c.CB.Size() }
+
+func (c PairCodec[A, B]) Encode(buf []byte, v Pair[A, B]) {
+	c.CA.Encode(buf, v.A)
+	c.CB.Encode(buf[c.CA.Size():], v.B)
+}
+
+func (c PairCodec[A, B]) Decode(buf []byte) Pair[A, B] {
+	return Pair[A, B]{
+		A: c.CA.Decode(buf),
+		B: c.CB.Decode(buf[c.CA.Size():]),
+	}
+}
+
+// U32Pair and F32Pair are the common instantiations.
+type (
+	// U32Pair is a pair of uint32 values.
+	U32Pair = Pair[uint32, uint32]
+	// F32Pair is a pair of float32 values.
+	F32Pair = Pair[float32, float32]
+)
+
+// U32PairCodec encodes U32Pair in 8 bytes.
+var U32PairCodec = PairCodec[uint32, uint32]{CA: Uint32Codec{}, CB: Uint32Codec{}}
+
+// F32PairCodec encodes F32Pair in 8 bytes.
+var F32PairCodec = PairCodec[float32, float32]{CA: Float32Codec{}, CB: Float32Codec{}}

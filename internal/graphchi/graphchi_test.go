@@ -1,0 +1,264 @@
+package graphchi
+
+import (
+	"errors"
+	"testing"
+
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+func shardEdges(t *testing.T, edges []graph.Edge, evalSize, nShards int) *Shards {
+	t.Helper()
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Shard(ShardConfig{Dev: dev, EdgeValSize: evalSize, NumShards: nShards}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func TestShardStructure(t *testing.T) {
+	edges := gen.RMAT(8, 2000, gen.NaturalRMAT, 41)
+	sh := shardEdges(t, edges, 4, 4)
+	if sh.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", sh.NumShards())
+	}
+	if sh.NumEdges != 2000 {
+		t.Errorf("NumEdges = %d", sh.NumEdges)
+	}
+	// Intervals cover [0, V) in order.
+	if sh.IntervalStart[0] != 0 || int(sh.IntervalStart[4]) != sh.NumVertices {
+		t.Errorf("interval bounds: %v", sh.IntervalStart)
+	}
+	for i := 0; i < 4; i++ {
+		if sh.IntervalStart[i] > sh.IntervalStart[i+1] {
+			t.Errorf("intervals not monotone: %v", sh.IntervalStart)
+		}
+	}
+	// Shard entries sum to edge count.
+	var sum int64
+	for _, n := range sh.ShardEntries {
+		sum += n
+	}
+	if sum != 2000 {
+		t.Errorf("shard entries sum to %d", sum)
+	}
+}
+
+func TestShardLoadRoundTrip(t *testing.T) {
+	edges := gen.RMAT(7, 500, gen.NaturalRMAT, 42)
+	sh := shardEdges(t, edges, 4, 3)
+	sh2, err := LoadShards(sh.Device(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh2.NumVertices != sh.NumVertices || sh2.NumEdges != sh.NumEdges ||
+		sh2.EdgeValSize != sh.EdgeValSize || sh2.NumShards() != sh.NumShards() {
+		t.Errorf("round trip mismatch: %+v vs %+v", sh2, sh)
+	}
+}
+
+func TestIndexBudgetFailure(t *testing.T) {
+	// The paper's Figure 5 effect: the 8 B/vertex degree index must
+	// fit the budget or the engine refuses to run.
+	edges := []graph.Edge{{Src: 0, Dst: 50000}}
+	sh := shardEdges(t, edges, 4, 1)
+	if sh.IndexBytes() != 50001*DegreeEntryBytes {
+		t.Fatalf("IndexBytes = %d", sh.IndexBytes())
+	}
+	_, err := New[uint32, uint32](sh, dummyProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 100_000})
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Errorf("tight budget error = %v, want ErrMemoryBudget", err)
+	}
+	if _, err := New[uint32, uint32](sh, dummyProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 10_000_000}); err != nil {
+		t.Errorf("roomy budget should construct: %v", err)
+	}
+}
+
+func TestEdgeCodecSizeValidated(t *testing.T) {
+	sh := shardEdges(t, []graph.Edge{{Src: 0, Dst: 1}}, 8, 1)
+	_, err := New[uint32, uint32](sh, dummyProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 1 << 20})
+	if err == nil {
+		t.Error("mismatched edge codec size should fail")
+	}
+}
+
+// dummyProg does nothing; used for construction-time validation tests.
+type dummyProg struct{}
+
+func (dummyProg) Init(id graph.VertexID, inDeg, outDeg uint32) uint32 { return 0 }
+
+func (dummyProg) InitEdge(src, dst graph.VertexID) uint32 { return 0 }
+
+func (dummyProg) Update(ctx *Context, id graph.VertexID, v *uint32, in, out []EdgeRef[uint32]) {
+}
+
+// propProg relays values: each vertex takes the min of its in-edge
+// values and writes min+0 to out-edges; used to validate PSW plumbing
+// (windows, write-back, async visibility).
+type propProg struct{}
+
+func (propProg) Init(id graph.VertexID, inDeg, outDeg uint32) uint32 { return uint32(id) }
+
+func (propProg) InitEdge(src, dst graph.VertexID) uint32 { return 0xFFFFFFFF }
+
+func (propProg) Update(ctx *Context, id graph.VertexID, v *uint32, in, out []EdgeRef[uint32]) {
+	newV := *v
+	for _, e := range in {
+		if *e.Val < newV {
+			newV = *e.Val
+		}
+	}
+	changed := newV < *v
+	*v = newV
+	if changed || ctx.Iteration() == 0 {
+		if changed {
+			ctx.MarkActive()
+		}
+		for _, e := range out {
+			*e.Val = *v
+		}
+	}
+}
+
+func referenceMin(n int, edges []graph.Edge) []uint32 {
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if labels[e.Src] < labels[e.Dst] {
+				labels[e.Dst] = labels[e.Src]
+				changed = true
+			}
+		}
+	}
+	return labels
+}
+
+func TestPSWMinPropagation(t *testing.T) {
+	for _, nShards := range []int{1, 3, 7} {
+		edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 43)
+		sh := shardEdges(t, edges, 4, nShards)
+		eng, err := New[uint32, uint32](sh, propProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+			Options{MemoryBudget: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := eng.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Cleanup()
+		want := referenceMin(sh.NumVertices, edges)
+		for i := range want {
+			if vals[i] != want[i] {
+				t.Fatalf("nShards=%d: vals[%d] = %d, want %d", nShards, i, vals[i], want[i])
+			}
+		}
+		if res.Iterations == 0 {
+			t.Error("no iterations ran")
+		}
+	}
+}
+
+func TestPSWDeterminism(t *testing.T) {
+	edges := gen.RMAT(8, 1000, gen.NaturalRMAT, 44)
+	run := func() []uint32 {
+		sh := shardEdges(t, edges, 4, 4)
+		eng, err := New[uint32, uint32](sh, propProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+			Options{MemoryBudget: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		vals, err := eng.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PSW not deterministic")
+		}
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	sh := shardEdges(t, []graph.Edge{{Src: 0, Dst: 1}}, 4, 1)
+	eng, err := New[uint32, uint32](sh, propProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 1 << 20, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestValuesBeforeRun(t *testing.T) {
+	sh := shardEdges(t, []graph.Edge{{Src: 0, Dst: 1}}, 4, 1)
+	eng, err := New[uint32, uint32](sh, propProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Values(); err == nil {
+		t.Error("Values before Run should fail")
+	}
+}
+
+func TestShardEmptyGraph(t *testing.T) {
+	sh := shardEdges(t, nil, 4, 2)
+	if sh.NumVertices != 0 || sh.NumEdges != 0 {
+		t.Fatalf("V=%d E=%d", sh.NumVertices, sh.NumEdges)
+	}
+	eng, err := New[uint32, uint32](sh, dummyProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 1 << 20, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardSingleEdge(t *testing.T) {
+	sh := shardEdges(t, []graph.Edge{{Src: 0, Dst: 1}}, 4, 3)
+	eng, err := New[uint32, uint32](sh, propProg{}, graph.Uint32Codec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := eng.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 || vals[1] != 0 {
+		t.Errorf("min propagation over one edge: %v", vals)
+	}
+}

@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"graphz/internal/sim"
+)
+
+func cachedDevice(cacheBytes int64) (*Device, *sim.Clock) {
+	clock := sim.NewClock()
+	dev := NewDevice(SSD, Options{Clock: clock, PageCacheBytes: cacheBytes})
+	return dev, clock
+}
+
+func TestPageCacheHitsAreFree(t *testing.T) {
+	dev, clock := cachedDevice(1 << 20)
+	f, _ := dev.Create("a")
+	data := make([]byte, 64*1024)
+	f.WriteAt(data, 0)
+
+	// The write populated the cache; this read is free.
+	buf := make([]byte, len(data))
+	before := dev.Stats()
+	t0 := clock.TotalIO()
+	f.ReadAt(buf, 0)
+	if got := dev.Stats().ReadBytes - before.ReadBytes; got != 0 {
+		t.Errorf("cached read charged %d physical bytes", got)
+	}
+	if clock.TotalIO() != t0 {
+		t.Error("cached read charged IO time")
+	}
+	if dev.Stats().CacheHits == 0 {
+		t.Error("no cache hits recorded")
+	}
+}
+
+func TestPageCacheMissChargesAndCaches(t *testing.T) {
+	dev, _ := cachedDevice(1 << 20)
+	f, _ := dev.Create("a")
+	f.WriteAt(make([]byte, 256*1024), 0)
+	// Evict by filling the cache with another file... simpler: use a
+	// fresh device whose cache never saw the data: reopen pattern is
+	// not possible, so instead read a range twice and compare charges.
+	dev2, _ := cachedDevice(1 << 20)
+	f2, _ := dev2.Create("b")
+	f2.WriteAt(make([]byte, 8*PageBytes), 0)
+	dev2.ResetStats()
+	// Invalidate by truncate+rewrite without cache population? Writes
+	// populate. Use eviction: write 2x the cache size sequentially.
+	big, _ := cachedDevice(4 * PageBytes)
+	bf, _ := big.Create("c")
+	bf.WriteAt(make([]byte, 16*PageBytes), 0) // populates, then evicts oldest
+	big.ResetStats()
+	buf := make([]byte, PageBytes)
+	bf.ReadAt(buf, 0) // page 0 long evicted -> miss
+	if big.Stats().ReadBytes == 0 {
+		t.Error("evicted page should charge a physical read")
+	}
+}
+
+func TestPageCacheTruncateInvalidates(t *testing.T) {
+	dev, _ := cachedDevice(1 << 20)
+	f, _ := dev.Create("a")
+	f.WriteAt(make([]byte, 4*PageBytes), 0)
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(make([]byte, 4*PageBytes), 0)
+	// After truncate the old pages were purged; the rewrite repopulated
+	// them, so this read hits.
+	dev.ResetStats()
+	f.ReadAt(make([]byte, PageBytes), 0)
+	if dev.Stats().ReadBytes != 0 {
+		t.Error("rewritten page should be cached")
+	}
+
+	// Recreating a file purges its pages too.
+	dev.Create("a")
+	st := dev.Stats()
+	f.ReadAt(make([]byte, 1), 0) // empty file: no read at all
+	if dev.Stats() != st {
+		t.Error("read of empty recreated file should be a no-op")
+	}
+}
+
+func TestPageCacheDisabledByDefault(t *testing.T) {
+	dev := NewDevice(SSD, Options{})
+	f, _ := dev.Create("a")
+	f.WriteAt(make([]byte, PageBytes), 0)
+	f.ReadAt(make([]byte, PageBytes), 0)
+	f.ReadAt(make([]byte, PageBytes), 0)
+	if dev.Stats().CacheHits != 0 {
+		t.Error("cache hits without a cache")
+	}
+	if dev.Stats().ReadOps != 2 {
+		t.Errorf("ReadOps = %d, want 2 (no cache)", dev.Stats().ReadOps)
+	}
+}
+
+func TestPageCacheRepeatScanSpeedup(t *testing.T) {
+	// A file smaller than the cache: the second full scan is free, so
+	// the modeled time of two scans is about one scan.
+	dev, clock := cachedDevice(8 << 20)
+	f, _ := dev.Create("a")
+	f.WriteAt(make([]byte, 4<<20), 0)
+	scan := func() time.Duration {
+		start := clock.TotalIO()
+		r := NewReader(f)
+		buf := make([]byte, 64*1024)
+		for {
+			if err := r.ReadFull(buf); err != nil {
+				break
+			}
+		}
+		return clock.TotalIO() - start
+	}
+	first := scan()
+	second := scan()
+	if second > first/10 {
+		t.Errorf("second scan cost %v, first %v; cache should make it nearly free", second, first)
+	}
+}

@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultBlockSize is the transfer unit of the buffered streams: engines
+// issue device operations in blocks of this size so that op and seek
+// counts reflect realistic request sizes rather than per-record calls.
+const DefaultBlockSize = 256 * 1024
+
+// Reader streams a file (or a sub-range of it) sequentially through a
+// block-sized buffer. It implements io.Reader.
+type Reader struct {
+	f       *File
+	off     int64
+	end     int64
+	buf     []byte
+	pos     int
+	filled  int
+	blockSz int
+}
+
+// NewReader returns a Reader over the whole file with the default block
+// size.
+func NewReader(f *File) *Reader {
+	return NewRangeReader(f, 0, f.Size())
+}
+
+// NewRangeReader returns a Reader over file bytes [off, end).
+func NewRangeReader(f *File, off, end int64) *Reader {
+	return &Reader{f: f, off: off, end: end, blockSz: DefaultBlockSize}
+}
+
+// SetBlockSize overrides the transfer unit; useful in tests exercising the
+// cost model.
+func (r *Reader) SetBlockSize(n int) {
+	if n > 0 {
+		r.blockSz = n
+	}
+}
+
+// Remaining returns the number of unread bytes, including buffered ones.
+func (r *Reader) Remaining() int64 {
+	return r.end - r.off + int64(r.filled-r.pos)
+}
+
+func (r *Reader) fill() error {
+	if r.off >= r.end {
+		return io.EOF
+	}
+	if r.buf == nil {
+		r.buf = make([]byte, r.blockSz)
+	}
+	want := int64(len(r.buf))
+	if left := r.end - r.off; left < want {
+		want = left
+	}
+	n, err := r.f.ReadAt(r.buf[:want], r.off)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return io.EOF
+	}
+	r.off += int64(n)
+	r.pos, r.filled = 0, n
+	return nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.pos == r.filled {
+		if err := r.fill(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, r.buf[r.pos:r.filled])
+	r.pos += n
+	return n, nil
+}
+
+// ReadFull reads exactly len(p) bytes or returns an error; io.EOF is
+// returned only at a record boundary (nothing read), io.ErrUnexpectedEOF
+// otherwise.
+func (r *Reader) ReadFull(p []byte) error {
+	total := 0
+	for total < len(p) {
+		n, err := r.Read(p[total:])
+		total += n
+		if err != nil {
+			if err == io.EOF && total == 0 {
+				return io.EOF
+			}
+			if err == io.EOF {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Writer streams sequential appends to a file through a block-sized
+// buffer. It implements io.Writer; Flush or Close must be called to
+// persist the tail.
+type Writer struct {
+	f   *File
+	off int64
+	buf []byte
+}
+
+// NewWriter returns a Writer appending at the end of f with the default
+// block size.
+func NewWriter(f *File) *Writer {
+	return &Writer{f: f, off: f.Size(), buf: make([]byte, 0, DefaultBlockSize)}
+}
+
+// NewWriterAt returns a Writer writing sequentially starting at off.
+func NewWriterAt(f *File, off int64) *Writer {
+	return &Writer{f: f, off: off, buf: make([]byte, 0, DefaultBlockSize)}
+}
+
+// Offset returns the file offset the next byte will land at.
+func (w *Writer) Offset() int64 { return w.off + int64(len(w.buf)) }
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		space := cap(w.buf) - len(w.buf)
+		if space == 0 {
+			if err := w.Flush(); err != nil {
+				return total, err
+			}
+			space = cap(w.buf)
+		}
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Flush writes any buffered bytes to the device.
+func (w *Writer) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.f.WriteAt(w.buf, w.off); err != nil {
+		return err
+	}
+	w.off += int64(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes the writer. The file needs no separate close.
+func (w *Writer) Close() error { return w.Flush() }
+
+// WriteAll creates (or truncates) the named file and writes data to it in
+// block-sized operations.
+func WriteAll(dev *Device, name string, data []byte) error {
+	f, err := dev.Create(name)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f)
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("storage: writing %q: %w", name, err)
+	}
+	return w.Flush()
+}
+
+// ReadAllFile reads the full contents of the named file in block-sized
+// operations.
+func ReadAllFile(dev *Device, name string) ([]byte, error) {
+	f, err := dev.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, f.Size())
+	r := NewReader(f)
+	if len(out) == 0 {
+		return out, nil
+	}
+	if err := r.ReadFull(out); err != nil {
+		return nil, fmt.Errorf("storage: reading %q: %w", name, err)
+	}
+	return out, nil
+}
