@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check fmt vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/obs/...
+
+bench:
+	$(GO) test -bench BenchmarkEngine -benchmem -run '^$$' ./internal/core/
+
+check: fmt vet race

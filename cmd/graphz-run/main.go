@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"graphz/internal/algo/chialgo"
 	"graphz/internal/algo/graphzalgo"
@@ -24,6 +25,7 @@ import (
 	"graphz/internal/energy"
 	"graphz/internal/graph"
 	"graphz/internal/graphchi"
+	"graphz/internal/obs"
 	"graphz/internal/sim"
 	"graphz/internal/storage"
 	"graphz/internal/xstream"
@@ -31,17 +33,19 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input raw edge file (required)")
-		algo   = flag.String("algo", "pr", "algorithm: pr, bfs, cc, sssp, bp, rw")
-		engine = flag.String("engine", "graphz", "engine: graphz, graphchi, xstream")
-		device = flag.String("device", "ssd", "simulated device: hdd or ssd")
-		budget = flag.Int64("budget", 8<<20, "memory budget in bytes")
-		dosPfx = flag.String("dos", "", "prefix of pre-converted DOS files from graphz-convert (graphz engine only; skips conversion)")
-		iters  = flag.Int("iters", 10, "iterations for pr/bp/rw")
-		source = flag.Int("source", -1, "bfs/sssp source (original ID; default: max-degree vertex)")
-		pdrain = flag.Bool("parallel-drain", false, "graphz: apply pending messages with the mutex-pool worker pool")
-		cache  = flag.Bool("cache-adjacency", false, "graphz: keep adjacency resident when it fits the budget")
-		top    = flag.Int("top", 5, "print the top-N result vertices")
+		in      = flag.String("in", "", "input raw edge file (required)")
+		algo    = flag.String("algo", "pr", "algorithm: pr, bfs, cc, sssp, bp, rw")
+		engine  = flag.String("engine", "graphz", "engine: graphz, graphchi, xstream")
+		device  = flag.String("device", "ssd", "simulated device: hdd or ssd")
+		budget  = flag.Int64("budget", 8<<20, "memory budget in bytes")
+		dosPfx  = flag.String("dos", "", "prefix of pre-converted DOS files from graphz-convert (graphz engine only; skips conversion)")
+		iters   = flag.Int("iters", 10, "iterations for pr/bp/rw")
+		source  = flag.Int("source", -1, "bfs/sssp source (original ID; default: max-degree vertex)")
+		pdrain  = flag.Bool("parallel-drain", false, "graphz: apply pending messages with the mutex-pool worker pool")
+		cache   = flag.Bool("cache-adjacency", false, "graphz: keep adjacency resident when it fits the budget")
+		top     = flag.Int("top", 5, "print the top-N result vertices")
+		maddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this address while the run is live (e.g. :8080, or :0 for a free port)")
+		traceTo = flag.String("trace", "", "write one JSONL span per (iteration, partition, stage) to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -76,6 +80,26 @@ func main() {
 		src = maxDegree(edges)
 	}
 
+	// Observability: the registry always collects (it also feeds the
+	// post-run reports); a tracer and a live endpoint only on request.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewTracer(f)
+	}
+	if *maddr != "" {
+		srv, err := obs.StartMetricsServer(*maddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+	}
+
 	var (
 		iterations int
 		values     map[graph.VertexID]float64
@@ -87,11 +111,11 @@ func main() {
 				fatal(err)
 			}
 		}
-		iterations, values, err = runGraphZ(dev, clock, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache)
+		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache)
 	case "graphchi":
-		iterations, values, err = runGraphChi(dev, clock, *algo, *budget, *iters, src)
+		iterations, values, err = runGraphChi(dev, clock, reg, tracer, *algo, *budget, *iters, src)
 	case "xstream":
-		iterations, values, err = runXStream(dev, clock, *algo, *budget, *iters, src)
+		iterations, values, err = runXStream(dev, clock, reg, tracer, *algo, *budget, *iters, src)
 	default:
 		err = fmt.Errorf("unknown engine %q", *engine)
 	}
@@ -100,11 +124,26 @@ func main() {
 	}
 
 	rep := energy.Measure(clock, kind)
+	st := dev.Stats()
 	fmt.Printf("%s %s on %s (%s, %d B budget)\n", *engine, *algo, *in, kind, *budget)
 	fmt.Printf("  iterations:   %d\n", iterations)
 	fmt.Printf("  modeled time: %v (compute %v, IO %v)\n", clock.Total(), clock.TotalCompute(), clock.TotalIO())
-	fmt.Printf("  device:       %v\n", dev.Stats())
+	fmt.Printf("  device:       reads %d ops / %d B, writes %d ops / %d B, seeks %d, page-cache hits %d\n",
+		st.ReadOps, st.ReadBytes, st.WriteOps, st.WriteBytes, st.Seeks, st.CacheHits)
+	fmt.Printf("  device time:  %v (modeled)\n", clock.TotalIO())
 	fmt.Printf("  energy:       %s\n", rep)
+	if rows := reg.Iters(); len(rows) > 0 {
+		fmt.Println("  per-iteration:")
+		for _, line := range strings.Split(strings.TrimRight(obs.FormatIterTable(rows), "\n"), "\n") {
+			fmt.Println("    " + line)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  trace:        %d spans -> %s\n", tracer.Spans(), *traceTo)
+	}
 	printTop(values, *top)
 }
 
@@ -128,7 +167,7 @@ func importDOS(dev *storage.Device, prefix string) error {
 
 // runGraphZ preprocesses to DOS (or loads a pre-converted graph) and runs
 // the algorithm, returning values keyed by original IDs.
-func runGraphZ(dev *storage.Device, clock *sim.Clock, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj bool) (int, map[graph.VertexID]float64, error) {
+func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj bool) (int, map[graph.VertexID]float64, error) {
 	var g *dos.Graph
 	var err error
 	if preconverted {
@@ -150,6 +189,7 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, algo string, budget int64,
 	opts := core.Options{
 		MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
 		ParallelDrain: pdrain, CacheAdjacency: cacheAdj,
+		Obs: reg, Trace: tracer,
 	}
 	var res core.Result
 	var vals []float64
@@ -219,7 +259,7 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, algo string, budget int64,
 }
 
 // runGraphChi shards and runs the algorithm.
-func runGraphChi(dev *storage.Device, clock *sim.Clock, algo string, budget int64, iters int, src graph.VertexID) (int, map[graph.VertexID]float64, error) {
+func runGraphChi(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID) (int, map[graph.VertexID]float64, error) {
 	evalSize := 4
 	if algo == "bp" {
 		evalSize = 8
@@ -228,7 +268,7 @@ func runGraphChi(dev *storage.Device, clock *sim.Clock, algo string, budget int6
 	if err != nil {
 		return 0, nil, err
 	}
-	opts := graphchi.Options{MemoryBudget: budget, Clock: clock, MaxIterations: 200}
+	opts := graphchi.Options{MemoryBudget: budget, Clock: clock, MaxIterations: 200, Obs: reg, Trace: tracer}
 	var res graphchi.Result
 	var vals []float64
 	switch algo {
@@ -275,12 +315,12 @@ func runGraphChi(dev *storage.Device, clock *sim.Clock, algo string, budget int6
 }
 
 // runXStream partitions and runs the algorithm.
-func runXStream(dev *storage.Device, clock *sim.Clock, algo string, budget int64, iters int, src graph.VertexID) (int, map[graph.VertexID]float64, error) {
+func runXStream(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID) (int, map[graph.VertexID]float64, error) {
 	pt, err := xstream.Partition(xstream.PartitionConfig{Dev: dev, Clock: clock, MemoryBudget: budget}, "raw", "g")
 	if err != nil {
 		return 0, nil, err
 	}
-	opts := xstream.Options{MemoryBudget: budget, Clock: clock, MaxIterations: 200}
+	opts := xstream.Options{MemoryBudget: budget, Clock: clock, MaxIterations: 200, Obs: reg, Trace: tracer}
 	var res xstream.Result
 	var vals []float64
 	switch algo {

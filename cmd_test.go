@@ -64,6 +64,34 @@ func TestCommandLineTools(t *testing.T) {
 		}
 	}
 
+	// Observability flags: a live metrics endpoint plus a JSONL trace.
+	traceFile := filepath.Join(dir, "run.jsonl")
+	out, err = exec.Command(run, "-in", graphFile, "-algo", "pr",
+		"-engine", "graphz", "-iters", "5", "-budget", "4194304",
+		"-metrics-addr", "127.0.0.1:0", "-trace", traceFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("graphz-run with obs flags: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"metrics: serving /metrics and /debug/pprof/",
+		"per-iteration:",
+		"device:",
+		"top 5 vertices",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("obs run output missing %q: %s", want, out)
+		}
+	}
+	spans, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("reading trace file: %v", err)
+	}
+	for _, stage := range []string{"sio", "dispatch", "worker", "drain"} {
+		if !strings.Contains(string(spans), `"stage":"`+stage+`"`) {
+			t.Errorf("trace file missing %s spans", stage)
+		}
+	}
+
 	// BFS through the run tool with an explicit source.
 	out, err = exec.Command(run, "-in", graphFile, "-algo", "bfs",
 		"-engine", "graphz", "-source", "0").CombinedOutput()

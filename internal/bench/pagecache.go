@@ -8,6 +8,7 @@ import (
 	"graphz/internal/dos"
 	"graphz/internal/graph"
 	"graphz/internal/graphchi"
+	"graphz/internal/obs"
 	"graphz/internal/sim"
 	"graphz/internal/storage"
 	"graphz/internal/xstream"
@@ -74,13 +75,14 @@ func runWithPageCache(s Scale, a Algo, e Engine, kind storage.Kind, budget int64
 	dev.ResetStats()
 	dev.SetClock(clock)
 	out := Outcome{Config: RunConfig{Scale: s, Algo: a, Engine: e, Kind: kind, Budget: budget}}
+	reg := obs.NewRegistry()
 	switch e {
 	case GraphChi:
-		err = runGraphChi(out.Config, dev, clock, &out)
+		err = runGraphChi(out.Config, dev, clock, reg, &out)
 	case XStream:
-		err = runXStream(out.Config, dev, clock, &out)
+		err = runXStream(out.Config, dev, clock, reg, &out)
 	default:
-		err = runGraphZ(out.Config, dev, clock, &out)
+		err = runGraphZ(out.Config, dev, clock, reg, &out)
 	}
 	if err != nil {
 		return 0, 0

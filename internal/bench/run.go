@@ -14,6 +14,7 @@ import (
 	"graphz/internal/energy"
 	"graphz/internal/graph"
 	"graphz/internal/graphchi"
+	"graphz/internal/obs"
 	"graphz/internal/sim"
 	"graphz/internal/storage"
 	"graphz/internal/xstream"
@@ -80,6 +81,13 @@ type Outcome struct {
 	Iterations int
 	IndexBytes int64
 	Spilled    int64 // GraphZ engines: messages spilled to the device
+	Inline     int64 // GraphZ engines: messages applied inline (ordered dynamic)
+	// SpillErrors counts spill failures the engine observed (GraphZ
+	// engines; the first failure aborts the run).
+	SpillErrors int64
+	// Stages is the per-pipeline-stage wall-clock breakdown reported by
+	// the engine's observability layer.
+	Stages obs.StageTimes
 }
 
 // Failed reports whether the run could not execute (index too large,
@@ -180,14 +188,15 @@ func runLocked(cfg RunConfig) Outcome {
 	dev.SetClock(clock)
 	defer dev.SetClock(nil)
 
+	reg := obs.NewRegistry()
 	var err error
 	switch cfg.Engine {
 	case GraphZ, GraphZNoDOS, GraphZNoDOSNoDM:
-		err = runGraphZ(cfg, dev, clock, &out)
+		err = runGraphZ(cfg, dev, clock, reg, &out)
 	case GraphChi:
-		err = runGraphChi(cfg, dev, clock, &out)
+		err = runGraphChi(cfg, dev, clock, reg, &out)
 	case XStream:
-		err = runXStream(cfg, dev, clock, &out)
+		err = runXStream(cfg, dev, clock, reg, &out)
 	default:
 		err = fmt.Errorf("bench: unknown engine %q", cfg.Engine)
 	}
@@ -205,7 +214,7 @@ func runLocked(cfg RunConfig) Outcome {
 
 // runGraphZ dispatches the six algorithms on the core engine over the
 // configured layout and message mode.
-func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, out *Outcome) error {
+func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, out *Outcome) error {
 	var layout core.Layout
 	switch cfg.Engine {
 	case GraphZ:
@@ -226,6 +235,7 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, out *Outcom
 		MemoryBudget:    cfg.Budget,
 		Clock:           clock,
 		DynamicMessages: cfg.Engine != GraphZNoDOSNoDM,
+		Obs:             reg,
 	}
 
 	source := graph.VertexID(0) // DOS relabels the max-degree vertex to 0
@@ -259,17 +269,20 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, out *Outcom
 	}
 	out.Iterations = res.Iterations
 	out.Spilled = res.MessagesSpilled
+	out.Inline = res.MessagesInline
+	out.SpillErrors = res.SpillErrors
+	out.Stages = res.Stages
 	return nil
 }
 
 // runGraphChi dispatches the six algorithms on the PSW baseline.
-func runGraphChi(cfg RunConfig, dev *storage.Device, clock *sim.Clock, out *Outcome) error {
+func runGraphChi(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, out *Outcome) error {
 	sh, err := graphchi.LoadShards(dev, Prefix)
 	if err != nil {
 		return err
 	}
 	out.IndexBytes = sh.IndexBytes()
-	opts := graphchi.Options{MemoryBudget: cfg.Budget, Clock: clock}
+	opts := graphchi.Options{MemoryBudget: cfg.Budget, Clock: clock, Obs: reg}
 	source := sourceFor(cfg.Scale)
 
 	var res graphchi.Result
@@ -296,17 +309,18 @@ func runGraphChi(cfg RunConfig, dev *storage.Device, clock *sim.Clock, out *Outc
 		return err
 	}
 	out.Iterations = res.Iterations
+	out.Stages = res.Stages
 	return nil
 }
 
 // runXStream dispatches the six algorithms on the edge-centric baseline.
-func runXStream(cfg RunConfig, dev *storage.Device, clock *sim.Clock, out *Outcome) error {
+func runXStream(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, out *Outcome) error {
 	pt, err := xstream.LoadPartitioned(dev, Prefix)
 	if err != nil {
 		return err
 	}
 	out.IndexBytes = 0 // the model's selling point: no vertex index
-	opts := xstream.Options{MemoryBudget: cfg.Budget, Clock: clock}
+	opts := xstream.Options{MemoryBudget: cfg.Budget, Clock: clock, Obs: reg}
 	source := sourceFor(cfg.Scale)
 
 	var res xstream.Result
@@ -333,5 +347,6 @@ func runXStream(cfg RunConfig, dev *storage.Device, clock *sim.Clock, out *Outco
 		return err
 	}
 	out.Iterations = res.Iterations
+	out.Stages = res.Stages
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"graphz/internal/graph"
 	"graphz/internal/storage"
@@ -68,8 +69,9 @@ func (e *Engine[V, M]) maybeEnableAdjCache() {
 
 // partitionEntrySource returns the adjacency source for partition p's
 // range [start, end) (in entries): the cache when resident, a caching
-// first read when enabled, or the Sio prefetcher.
-func (e *Engine[V, M]) partitionEntrySource(p int, start, end int64) (entrySource, error) {
+// first read when enabled, or the Sio prefetcher. ps, when non-nil,
+// receives the pipeline's observability counters.
+func (e *Engine[V, M]) partitionEntrySource(p int, start, end int64, ps *pipeStats) (entrySource, error) {
 	if e.cacheOn {
 		if e.adjCache[p] == nil {
 			// First visit: one charged sequential read, then
@@ -79,17 +81,26 @@ func (e *Engine[V, M]) partitionEntrySource(p int, start, end int64) (entrySourc
 				return nil, err
 			}
 			data := make([]byte, (end-start)*4)
+			var t0 time.Time
+			if ps != nil {
+				t0 = time.Now()
+			}
 			r := storage.NewRangeReader(f, start*4, end*4)
 			if len(data) > 0 {
 				if err := r.ReadFull(data); err != nil {
 					return nil, fmt.Errorf("core: caching adjacency of partition %d: %w", p, err)
 				}
 			}
+			if ps != nil {
+				ps.fillNS = int64(time.Since(t0))
+			}
 			e.adjCache[p] = data
+		} else if ps != nil {
+			ps.cacheHit = true
 		}
 		return &memEntryStream{data: e.adjCache[p]}, nil
 	}
-	return newEntryStream(e.dev, e.layout.EdgesFile(), start, end)
+	return newEntryStream(e.dev, e.layout.EdgesFile(), start, end, ps)
 }
 
 // AdjacencyCached reports whether the engine is serving adjacency from

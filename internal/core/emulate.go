@@ -244,7 +244,7 @@ func InDegrees(l Layout) ([]uint32, error) {
 	if err := l.LoadIndex(); err != nil {
 		return nil, err
 	}
-	stream, err := newEntryStream(l.Device(), l.EdgesFile(), 0, l.NumEdges())
+	stream, err := newEntryStream(l.Device(), l.EdgesFile(), 0, l.NumEdges(), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"graphz/internal/graph"
+	"graphz/internal/obs"
 	"graphz/internal/sim"
 	"graphz/internal/storage"
 )
@@ -108,6 +109,13 @@ type Options struct {
 	// Name prefixes the engine's runtime files on the device; defaults
 	// to "graphz".
 	Name string
+	// Obs receives the engine's runtime metrics: message-routing
+	// counters, per-stage timings, and one IterStats row per iteration.
+	// Nil disables collection entirely — the no-op fast path.
+	Obs *obs.Registry
+	// Trace receives one JSONL span per (iteration, partition, stage)
+	// with stage ∈ {sio, dispatch, worker, drain}. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // DefaultOptions returns the standard configuration (dynamic messages on).
@@ -131,14 +139,21 @@ const sioQueueDepth = 4
 // than this is treated as infeasible.
 const maxPartitions = 65536
 
-// Result summarizes a finished run.
+// Result summarizes a finished run. It stays comparable (no slices): the
+// per-iteration breakdown lives in the attached obs.Registry.
 type Result struct {
-	Iterations      int
-	Partitions      int
-	MessagesSent    int64
-	MessagesApplied int64
-	MessagesSpilled int64 // messages that crossed the partition boundary to disk
-	UpdatesRun      int64
+	Iterations       int
+	Partitions       int
+	MessagesSent     int64
+	MessagesApplied  int64
+	MessagesInline   int64 // applied immediately as ordered dynamic messages
+	MessagesBuffered int64 // queued for a non-resident destination
+	MessagesSpilled  int64 // messages that crossed the partition boundary to disk
+	SpillErrors      int64 // spill failures observed (first one aborts the run)
+	UpdatesRun       int64
+	// Stages is wall-clock time per pipeline stage, summed over the
+	// run; populated only when Options.Obs or Options.Trace is set.
+	Stages obs.StageTimes
 }
 
 // Engine runs one Program over one Layout. Create with New, run with Run,
@@ -156,17 +171,23 @@ type Engine[V, M any] struct {
 	msize      int
 
 	// per-run state
-	verts    []V
-	adjCache [][]byte // resident adjacency per partition, when cacheOn
-	cacheOn  bool
-	msgBufs  [][]byte
-	active   bool
-	sent     int64
-	applied  int64
-	spilled  int64
-	updates  int64
-	finished bool
-	runErr   error // first deferred error from message spilling
+	verts     []V
+	adjCache  [][]byte // resident adjacency per partition, when cacheOn
+	cacheOn   bool
+	msgBufs   [][]byte
+	active    bool
+	sent      int64
+	applied   int64
+	inline    int64
+	bufferedN int64
+	spilled   int64
+	updates   int64
+	finished  bool
+	runErr    error // first deferred error from message spilling
+	spillErrs int64 // all spill failures, including ones after runErr
+
+	eo          engineObs
+	stageTotals obs.StageTimes
 }
 
 // New validates the configuration and plans the partitioning. It returns
@@ -194,6 +215,7 @@ func New[V, M any](layout Layout, prog Program[V, M], vcodec graph.Codec[V], mco
 		dev:    layout.Device(),
 		vsize:  vcodec.Size(),
 		msize:  mcodec.Size(),
+		eo:     newEngineObs(opts.Obs, opts.Trace),
 	}
 	if err := e.plan(); err != nil {
 		return nil, err
@@ -310,13 +332,34 @@ func (e *Engine[V, M]) Run() (Result, error) {
 			}
 			pendingBefore += sz
 		}
+		var row *obs.IterStats
+		var devBefore storage.Stats
+		inlineBefore, bufferedBefore, spilledBefore := e.inline, e.bufferedN, e.spilled
+		if e.eo.on {
+			row = &obs.IterStats{Iteration: iters}
+			devBefore = e.dev.Stats()
+		}
 		for p := 0; p < nParts; p++ {
-			if err := e.runPartition(p, iters); err != nil {
+			err := e.runPartition(p, iters, row)
+			// A deferred spill failure predates whatever the partition
+			// tripped over afterwards (often a knock-on effect of the
+			// same full device), so it takes precedence.
+			if e.runErr != nil {
+				return Result{}, e.wrapRunErr()
+			}
+			if err != nil {
 				return Result{}, err
 			}
-			if e.runErr != nil {
-				return Result{}, e.runErr
-			}
+		}
+		if row != nil {
+			row.MessagesInline = e.inline - inlineBefore
+			row.MessagesBuffered = e.bufferedN - bufferedBefore
+			row.MessagesSpilled = e.spilled - spilledBefore
+			devNow := e.dev.Stats()
+			row.DeviceReadBytes = devNow.ReadBytes - devBefore.ReadBytes
+			row.DeviceWriteBytes = devNow.WriteBytes - devBefore.WriteBytes
+			row.DeviceSeeks = devNow.Seeks - devBefore.Seeks
+			e.eo.reg.RecordIter(*row)
 		}
 		iters++
 		if e.opts.MaxIterations > 0 && iters >= e.opts.MaxIterations {
@@ -335,18 +378,36 @@ func (e *Engine[V, M]) Run() (Result, error) {
 	for p := 0; p < nParts; p++ {
 		e.dev.Remove(e.msgFile(p))
 	}
+	if e.eo.on {
+		foldDeviceStats(e.eo.reg, e.dev.Stats())
+	}
 	return Result{
-		Iterations:      iters,
-		Partitions:      nParts,
-		MessagesSent:    e.sent,
-		MessagesApplied: e.applied,
-		MessagesSpilled: e.spilled,
-		UpdatesRun:      e.updates,
+		Iterations:       iters,
+		Partitions:       nParts,
+		MessagesSent:     e.sent,
+		MessagesApplied:  e.applied,
+		MessagesInline:   e.inline,
+		MessagesBuffered: e.bufferedN,
+		MessagesSpilled:  e.spilled,
+		SpillErrors:      e.spillErrs,
+		UpdatesRun:       e.updates,
+		Stages:           e.stageTotals,
 	}, nil
 }
 
-// runPartition processes one partition for one iteration.
-func (e *Engine[V, M]) runPartition(p, iter int) error {
+// wrapRunErr returns the first spill error, annotated with how many later
+// spill failures were dropped behind it. The %w keeps errors.Is working on
+// the original cause.
+func (e *Engine[V, M]) wrapRunErr() error {
+	if e.spillErrs > 1 {
+		return fmt.Errorf("%w (%d later spill errors dropped)", e.runErr, e.spillErrs-1)
+	}
+	return e.runErr
+}
+
+// runPartition processes one partition for one iteration. row, when
+// non-nil, accumulates this iteration's observability stats.
+func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 	lo, hi := e.partStarts[p], e.partStarts[p+1]
 	count := int(hi - lo)
 	if count == 0 {
@@ -357,6 +418,10 @@ func (e *Engine[V, M]) runPartition(p, iter int) error {
 	if err := e.loadVertices(lo, hi, iter); err != nil {
 		return err
 	}
+	var drainStart time.Time
+	if e.eo.on {
+		drainStart = time.Now()
+	}
 	if e.opts.ParallelDrain {
 		if err := e.drainMessagesParallel(p, lo); err != nil {
 			return err
@@ -364,12 +429,21 @@ func (e *Engine[V, M]) runPartition(p, iter int) error {
 	} else if err := e.drainMessages(p, lo); err != nil {
 		return err
 	}
+	if e.eo.on {
+		e.recordDrain(iter, p, drainStart, row)
+	}
 
 	// --- Sio: adjacency entries, prefetched off the device or served
 	// from the resident cache ---
 	start := e.layout.OffsetOf(lo)
 	end := endOffset(e.layout, hi)
-	stream, err := e.partitionEntrySource(p, start, end)
+	var ps *pipeStats
+	var partStart time.Time
+	if e.eo.on {
+		ps = &pipeStats{}
+		partStart = time.Now()
+	}
+	stream, err := e.partitionEntrySource(p, start, end, ps)
 	if err != nil {
 		return err
 	}
@@ -389,12 +463,20 @@ func (e *Engine[V, M]) runPartition(p, iter int) error {
 			// resident — apply immediately.
 			e.prog.Apply(&e.verts[dst-lo], m)
 			e.applied++
+			e.inline++
+			e.eo.inline.Inc()
 			e.charge(1, sim.CostMessageApply)
 			return
 		}
+		e.bufferedN++
+		e.eo.buffered.Inc()
 		e.bufferMessage(dst, m)
 	}
 
+	var workerStart time.Time
+	if e.eo.on {
+		workerStart = time.Now()
+	}
 	var adj []graph.VertexID
 	for v := lo; v < hi; v++ {
 		deg := e.layout.DegreeOf(v)
@@ -410,6 +492,10 @@ func (e *Engine[V, M]) runPartition(p, iter int) error {
 		e.updates++
 		e.charge(1, sim.CostVertexUpdate)
 		e.charge(int64(deg), sim.CostEdgeScan)
+	}
+	if e.eo.on {
+		e.recordWorker(iter, p, workerStart, row)
+		e.recordPipe(ps, iter, p, partStart, row)
 	}
 	if active {
 		e.active = true
@@ -499,18 +585,24 @@ func (e *Engine[V, M]) bufferMessage(dst graph.VertexID, m M) {
 func (e *Engine[V, M]) spillBuffer(p int, buf []byte) {
 	f, err := e.dev.Open(e.msgFile(p))
 	if err != nil {
+		e.spillErrs++
+		e.eo.spillErrs.Inc()
 		if e.runErr == nil {
 			e.runErr = err
 		}
 		return
 	}
 	if _, err := f.Append(buf); err != nil {
+		e.spillErrs++
+		e.eo.spillErrs.Inc()
 		if e.runErr == nil {
 			e.runErr = fmt.Errorf("core: spilling messages for partition %d: %w", p, err)
 		}
 		return
 	}
-	e.spilled += int64(len(buf) / (4 + e.msize))
+	n := int64(len(buf) / (4 + e.msize))
+	e.spilled += n
+	e.eo.spilled.Add(n)
 }
 
 // drainMessages applies partition p's pending messages — first the

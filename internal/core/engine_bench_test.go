@@ -1,0 +1,69 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/obs"
+	"graphz/internal/storage"
+)
+
+// benchGraph builds one multi-partition DOS graph shared by the engine
+// benchmarks.
+func benchGraph(b *testing.B) *dos.Graph {
+	b.Helper()
+	edges := gen.RMAT(12, 40000, gen.NaturalRMAT, 7)
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		b.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchRun(b *testing.B, g *dos.Graph, reg *obs.Registry, tr *obs.Tracer) {
+	b.Helper()
+	opts := Options{
+		MemoryBudget:    budgetForPartitions(g, 8, 4, 4096),
+		DynamicMessages: true,
+		MsgBufferBytes:  4096,
+		MaxIterations:   3,
+		Obs:             reg,
+		Trace:           tr,
+	}
+	for i := 0; i < b.N; i++ {
+		eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		eng.Cleanup()
+	}
+}
+
+// BenchmarkEngine is the baseline for the observability layer's disabled
+// overhead: no registry, no tracer — the engine must take the no-op fast
+// path everywhere.
+func BenchmarkEngine(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	benchRun(b, g, nil, nil)
+}
+
+// BenchmarkEngineObserved is the same run with a registry and a tracer
+// writing to io.Discard — the cost of full instrumentation.
+func BenchmarkEngineObserved(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	benchRun(b, g, obs.NewRegistry(), obs.NewTracer(io.Discard))
+}

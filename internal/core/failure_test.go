@@ -2,11 +2,13 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"graphz/internal/dos"
 	"graphz/internal/gen"
 	"graphz/internal/graph"
+	"graphz/internal/obs"
 	"graphz/internal/storage"
 )
 
@@ -26,14 +28,10 @@ func TestEngineSurfacesDeviceFull(t *testing.T) {
 	}
 	used := staging.Used()
 
-	// A capacity just above the converted graph plus vertex state:
-	// the message store will not fit.
-	g1, err := dos.Load(staging, "g")
-	if err != nil {
-		t.Fatal(err)
-	}
-	vstateBytes := int64(g1.NumVertices) * 8
-	tight := storage.NewDevice(storage.SSD, storage.Options{Capacity: used + vstateBytes + 2048})
+	// A capacity just above the converted graph: message spills hit the
+	// wall during the first partition's worker loop, before the vertex
+	// state is ever flushed.
+	tight := storage.NewDevice(storage.SSD, storage.Options{Capacity: used + 512})
 	for _, name := range staging.List() {
 		data, err := storage.ReadAllFile(staging, name)
 		if err != nil {
@@ -49,8 +47,9 @@ func TestEngineSurfacesDeviceFull(t *testing.T) {
 	}
 
 	budget := int64(pipelineOverheadBytes) + g2.IndexBytes() + int64(g2.NumVertices)*8/4 + 8*64
+	reg := obs.NewRegistry()
 	eng, err := New[minVal, uint32](DOSLayout(g2), minLabel{}, minValCodec{}, graph.Uint32Codec{},
-		Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 64})
+		Options{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 64, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,6 +62,20 @@ func TestEngineSurfacesDeviceFull(t *testing.T) {
 	}
 	if !errors.Is(err, storage.ErrNoSpace) {
 		t.Errorf("error = %v, want ErrNoSpace in chain", err)
+	}
+	// Every spill failure lands in the counter, not just the first one
+	// that aborts the run.
+	errCount := reg.CounterValue("messages_spill_errors")
+	if errCount < 1 {
+		t.Error("messages_spill_errors counter not incremented")
+	}
+	if errCount != eng.spillErrs {
+		t.Errorf("counter = %d, engine saw %d", errCount, eng.spillErrs)
+	}
+	// When later failures were dropped behind the first, the error text
+	// says how many.
+	if errCount > 1 && !strings.Contains(err.Error(), "later spill errors dropped") {
+		t.Errorf("error %q does not report %d dropped spill errors", err, errCount-1)
 	}
 }
 

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"graphz/internal/obs"
+	"graphz/internal/storage"
+)
+
+// engineName labels the core engine's spans and metrics.
+const engineName = "graphz"
+
+// engineObs bundles the engine's resolved observability instruments. All
+// instruments are nil-safe, so the struct is populated unconditionally;
+// `on` gates the timing code (time.Now calls, per-iteration rows) that
+// would otherwise cost even with no sink attached.
+type engineObs struct {
+	on  bool
+	reg *obs.Registry
+	tr  *obs.Tracer
+
+	inline    *obs.Counter // messages applied immediately (ordered dynamic)
+	buffered  *obs.Counter // messages queued for a non-resident destination
+	spilled   *obs.Counter // buffered messages written to the device
+	spillErrs *obs.Counter // spill failures (first aborts the run, rest are counted)
+
+	sioBlocks *obs.Counter // adjacency blocks prefetched off the device
+	sioStalls *obs.Counter // Worker waits on an empty prefetch queue
+	adjHits   *obs.Counter // partitions served from the resident adjacency cache
+
+	sioNS      *obs.Counter // cumulative stage time, nanoseconds
+	dispatchNS *obs.Counter
+	workerNS   *obs.Counter
+	drainNS    *obs.Counter
+
+	drainSerial   *obs.Counter // drain invocations by path
+	drainParallel *obs.Counter
+
+	workerHist *obs.Histogram // per-partition worker duration
+	drainHist  *obs.Histogram // per-partition drain duration
+}
+
+func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
+	return engineObs{
+		on:  reg != nil || tr != nil,
+		reg: reg,
+		tr:  tr,
+
+		inline:    reg.Counter("graphz_messages_inline_total"),
+		buffered:  reg.Counter("graphz_messages_buffered_total"),
+		spilled:   reg.Counter("graphz_messages_spilled_total"),
+		spillErrs: reg.Counter("messages_spill_errors"),
+
+		sioBlocks: reg.Counter("graphz_sio_blocks_total"),
+		sioStalls: reg.Counter("graphz_sio_stalls_total"),
+		adjHits:   reg.Counter("graphz_adjcache_hits_total"),
+
+		sioNS:      reg.Counter("graphz_stage_sio_ns_total"),
+		dispatchNS: reg.Counter("graphz_stage_dispatch_ns_total"),
+		workerNS:   reg.Counter("graphz_stage_worker_ns_total"),
+		drainNS:    reg.Counter("graphz_stage_drain_ns_total"),
+
+		drainSerial:   reg.Counter("graphz_drain_serial_total"),
+		drainParallel: reg.Counter("graphz_drain_parallel_total"),
+
+		workerHist: reg.Histogram("graphz_worker_partition_ns"),
+		drainHist:  reg.Histogram("graphz_drain_partition_ns"),
+	}
+}
+
+// pipeStats accumulates one partition's Sio/Dispatcher pipeline activity.
+// The producer (prefetch goroutine) writes the atomic fields; the
+// consumer (Worker thread) owns the rest.
+type pipeStats struct {
+	readNS atomic.Int64 // producer: device read time
+	blocks atomic.Int64 // producer: blocks handed to the queue
+
+	stalls     int64 // consumer: recv found the queue empty
+	stallNS    int64 // consumer: time blocked on an empty queue
+	dispatchNS int64 // consumer: block parse (Dispatcher) time
+	fillNS     int64 // consumer: adjacency-cache first-fill read time
+	cacheHit   bool  // partition served from the resident cache
+}
+
+// recordPipe folds a finished partition's pipeline stats into spans,
+// counters, and the iteration row. partStart anchors the accumulated-
+// duration spans.
+func (e *Engine[V, M]) recordPipe(ps *pipeStats, iter, p int, partStart time.Time, row *obs.IterStats) {
+	sio := time.Duration(ps.readNS.Load() + ps.fillNS)
+	dispatch := time.Duration(ps.dispatchNS)
+	e.eo.tr.Emit(engineName, obs.StageSio, iter, p, partStart, sio)
+	e.eo.tr.Emit(engineName, obs.StageDispatch, iter, p, partStart, dispatch)
+	e.eo.sioBlocks.Add(ps.blocks.Load())
+	e.eo.sioStalls.Add(ps.stalls)
+	e.eo.sioNS.Add(int64(sio))
+	e.eo.dispatchNS.Add(int64(dispatch))
+	if ps.cacheHit {
+		e.eo.adjHits.Inc()
+	}
+	e.stageTotals.Sio += sio
+	e.stageTotals.Dispatch += dispatch
+	if row != nil {
+		row.Stages.Sio += sio
+		row.Stages.Dispatch += dispatch
+		row.PrefetchStalls += ps.stalls
+		if ps.cacheHit {
+			row.AdjCacheHits++
+		}
+	}
+}
+
+// recordWorker accounts the Worker update loop of one partition.
+func (e *Engine[V, M]) recordWorker(iter, p int, start time.Time, row *obs.IterStats) {
+	d := time.Since(start)
+	e.eo.tr.Emit(engineName, obs.StageWorker, iter, p, start, d)
+	e.eo.workerNS.Add(int64(d))
+	e.eo.workerHist.Observe(d)
+	e.stageTotals.Worker += d
+	if row != nil {
+		row.Stages.Worker += d
+	}
+}
+
+// recordDrain accounts the MsgManager drain of one partition.
+func (e *Engine[V, M]) recordDrain(iter, p int, start time.Time, row *obs.IterStats) {
+	d := time.Since(start)
+	e.eo.tr.Emit(engineName, obs.StageDrain, iter, p, start, d)
+	e.eo.drainNS.Add(int64(d))
+	e.eo.drainHist.Observe(d)
+	if e.opts.ParallelDrain {
+		e.eo.drainParallel.Inc()
+	} else {
+		e.eo.drainSerial.Inc()
+	}
+	e.stageTotals.Drain += d
+	if row != nil {
+		row.Stages.Drain += d
+	}
+}
+
+// foldDeviceStats mirrors the device's cumulative counters into the
+// registry as gauges, so /metrics tracks IO alongside the pipeline.
+func foldDeviceStats(reg *obs.Registry, st storage.Stats) {
+	reg.Gauge("device_read_ops").Set(st.ReadOps)
+	reg.Gauge("device_write_ops").Set(st.WriteOps)
+	reg.Gauge("device_read_bytes").Set(st.ReadBytes)
+	reg.Gauge("device_write_bytes").Set(st.WriteBytes)
+	reg.Gauge("device_seeks").Set(st.Seeks)
+	reg.Gauge("device_pagecache_hits").Set(st.CacheHits)
+}

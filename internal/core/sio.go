@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"graphz/internal/graph"
 	"graphz/internal/storage"
@@ -28,6 +29,14 @@ type entryStream struct {
 	cur    []byte
 	pos    int
 	err    error
+
+	// met, when non-nil, switches the consumer to the measured path:
+	// blocks are batch-parsed (a timed Dispatcher step) into entries and
+	// queue-empty stalls are counted. Nil keeps the seed per-entry decode
+	// untouched — the no-op fast path.
+	met     *pipeStats
+	entries []graph.VertexID
+	epos    int
 }
 
 type sioBlock struct {
@@ -36,8 +45,9 @@ type sioBlock struct {
 }
 
 // newEntryStream starts a prefetcher over edge-entry range [start, end)
-// (in entries) of the named adjacency file.
-func newEntryStream(dev *storage.Device, file string, start, end int64) (*entryStream, error) {
+// (in entries) of the named adjacency file. met, when non-nil, receives
+// the pipeline's timing and stall counters.
+func newEntryStream(dev *storage.Device, file string, start, end int64, met *pipeStats) (*entryStream, error) {
 	f, err := dev.Open(file)
 	if err != nil {
 		return nil, err
@@ -45,13 +55,24 @@ func newEntryStream(dev *storage.Device, file string, start, end int64) (*entryS
 	s := &entryStream{
 		blocks: make(chan sioBlock, sioQueueDepth),
 		stopc:  make(chan struct{}),
+		met:    met,
 	}
 	r := storage.NewRangeReader(f, start*4, end*4)
 	go func() {
 		defer close(s.blocks)
 		for {
 			buf := blockPool.Get().([]byte)
+			var t0 time.Time
+			if met != nil {
+				t0 = time.Now()
+			}
 			n, err := readChunk(r, buf)
+			if met != nil {
+				met.readNS.Add(int64(time.Since(t0)))
+				if n > 0 {
+					met.blocks.Add(1)
+				}
+			}
 			if n > 0 {
 				select {
 				case s.blocks <- sioBlock{data: buf[:n]}:
@@ -92,6 +113,9 @@ func readChunk(r *storage.Reader, buf []byte) (int, error) {
 
 // next returns the next adjacency entry.
 func (s *entryStream) next() (graph.VertexID, error) {
+	if s.met != nil {
+		return s.nextParsed()
+	}
 	if s.err != nil {
 		return 0, s.err
 	}
@@ -117,6 +141,60 @@ func (s *entryStream) next() (graph.VertexID, error) {
 	v := graph.VertexID(binary.LittleEndian.Uint32(s.cur[s.pos:]))
 	s.pos += 4
 	return v, nil
+}
+
+// nextParsed is next() on the measured path: each block is batch-parsed
+// into the entries slice — the same total decode work as the seed path,
+// but grouped so the Dispatcher's parse time is attributable — and the
+// block buffer is recycled immediately.
+func (s *entryStream) nextParsed() (graph.VertexID, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	for s.epos >= len(s.entries) {
+		blk, ok := s.recvBlock()
+		if !ok {
+			s.err = fmt.Errorf("core: adjacency stream exhausted early")
+			return 0, s.err
+		}
+		if blk.err != nil {
+			s.err = blk.err
+			return 0, s.err
+		}
+		t0 := time.Now()
+		n := len(blk.data) / 4
+		if cap(s.entries) < n {
+			s.entries = make([]graph.VertexID, n)
+		}
+		s.entries = s.entries[:n]
+		for i := 0; i < n; i++ {
+			s.entries[i] = graph.VertexID(binary.LittleEndian.Uint32(blk.data[i*4:]))
+		}
+		s.epos = 0
+		s.met.dispatchNS += int64(time.Since(t0))
+		blockPool.Put(blk.data[:cap(blk.data)]) //nolint:staticcheck
+	}
+	v := s.entries[s.epos]
+	s.epos++
+	return v, nil
+}
+
+// recvBlock receives the next prefetched block, counting a stall (and its
+// duration) whenever the Worker finds the queue empty and has to wait for
+// the Sio producer.
+func (s *entryStream) recvBlock() (sioBlock, bool) {
+	select {
+	case blk, ok := <-s.blocks:
+		return blk, ok
+	default:
+	}
+	t0 := time.Now()
+	blk, ok := <-s.blocks
+	if ok {
+		s.met.stalls++
+		s.met.stallNS += int64(time.Since(t0))
+	}
+	return blk, ok
 }
 
 // stop shuts the prefetcher down, releasing queued buffers back to the

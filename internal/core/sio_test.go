@@ -22,7 +22,7 @@ func entryFile(t *testing.T, dev *storage.Device, name string, entries []uint32)
 func TestEntryStreamReadsRange(t *testing.T) {
 	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
 	entryFile(t, dev, "e", []uint32{10, 20, 30, 40, 50})
-	s, err := newEntryStream(dev, "e", 1, 4) // entries 20, 30, 40
+	s, err := newEntryStream(dev, "e", 1, 4, nil) // entries 20, 30, 40
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestEntryStreamStopMidway(t *testing.T) {
 		entries[i] = uint32(i)
 	}
 	entryFile(t, dev, "e", entries)
-	s, err := newEntryStream(dev, "e", 0, int64(len(entries)))
+	s, err := newEntryStream(dev, "e", 0, int64(len(entries)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestEntryStreamStopMidway(t *testing.T) {
 func TestEntryStreamEmptyRange(t *testing.T) {
 	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
 	entryFile(t, dev, "e", []uint32{1, 2, 3})
-	s, err := newEntryStream(dev, "e", 2, 2)
+	s, err := newEntryStream(dev, "e", 2, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestEntryStreamEmptyRange(t *testing.T) {
 
 func TestEntryStreamMissingFile(t *testing.T) {
 	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
-	if _, err := newEntryStream(dev, "missing", 0, 1); err == nil {
+	if _, err := newEntryStream(dev, "missing", 0, 1, nil); err == nil {
 		t.Error("missing file should fail")
 	}
 }

@@ -8,9 +8,51 @@ import (
 	"time"
 
 	"graphz/internal/graph"
+	"graphz/internal/obs"
 	"graphz/internal/sim"
 	"graphz/internal/storage"
 )
+
+// engineName labels this engine's spans and metrics.
+const engineName = "graphchi"
+
+// engineObs bundles the engine's resolved instruments; all are nil-safe,
+// and `on` gates the time.Now calls on the hot path.
+type engineObs struct {
+	on  bool
+	reg *obs.Registry
+	tr  *obs.Tracer
+
+	stageNS map[string]*obs.Counter
+}
+
+func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
+	eo := engineObs{
+		on:      reg != nil || tr != nil,
+		reg:     reg,
+		tr:      tr,
+		stageNS: make(map[string]*obs.Counter, 4),
+	}
+	for _, st := range []string{obs.StageSio, obs.StageDispatch, obs.StageWorker, obs.StageDrain} {
+		eo.stageNS[st] = reg.Counter(engineName + "_stage_" + st + "_ns_total")
+	}
+	return eo
+}
+
+// recordStage closes out one stage of interval p: emits its span, adds
+// the stage counters, and returns the current time as the next stage's
+// start.
+func (e *Engine[V, E]) recordStage(stage string, iter, p int, start time.Time, row *obs.IterStats) time.Time {
+	now := time.Now()
+	d := now.Sub(start)
+	e.eo.tr.Emit(engineName, stage, iter, p, start, d)
+	e.eo.stageNS[stage].Add(int64(d))
+	e.stages.AddStage(stage, d)
+	if row != nil {
+		row.Stages.AddStage(stage, d)
+	}
+	return now
+}
 
 // EdgeRef exposes one edge of the in-memory subgraph to an update
 // function: the neighbor on the other end and a pointer to the mutable
@@ -59,6 +101,12 @@ type Options struct {
 	MaxIterations int // 0 = run until no vertex marks active
 	Clock         *sim.Clock
 	Name          string // runtime file prefix; defaults to "chi"
+	// Obs receives per-stage timings and one IterStats row per
+	// iteration; nil disables collection — the no-op fast path.
+	Obs *obs.Registry
+	// Trace receives one JSONL span per (iteration, interval, stage);
+	// nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // ErrMemoryBudget reports that the per-vertex degree index cannot be
@@ -71,6 +119,9 @@ type Result struct {
 	Shards         int
 	UpdatesRun     int64
 	EdgesTraversed int64
+	// Stages is wall-clock time per pipeline stage, summed over the
+	// run; populated only when Options.Obs or Options.Trace is set.
+	Stages obs.StageTimes
 }
 
 // Engine executes a Program over Shards with the PSW algorithm.
@@ -87,6 +138,9 @@ type Engine[V, E any] struct {
 	updates       int64
 	traversed     int64
 	finished      bool
+
+	eo     engineObs
+	stages obs.StageTimes
 }
 
 // New validates the budget (the degree index plus one interval's working
@@ -109,6 +163,7 @@ func New[V, E any](sh *Shards, prog Program[V, E], vcodec graph.Codec[V], ecodec
 	return &Engine[V, E]{
 		sh: sh, prog: prog, vcodec: vcodec, ecodec: ecodec, opts: opts,
 		dev: sh.Device(),
+		eo:  newEngineObs(opts.Obs, opts.Trace),
 	}, nil
 }
 
@@ -143,8 +198,21 @@ func (e *Engine[V, E]) Run() (Result, error) {
 			e.opts.Clock.BeginPhase(fmt.Sprintf("iter%d", iters))
 		}
 		active := false
-		if err := e.runIteration(iters, &active); err != nil {
+		var row *obs.IterStats
+		var devBefore storage.Stats
+		if e.eo.on {
+			row = &obs.IterStats{Iteration: iters}
+			devBefore = e.dev.Stats()
+		}
+		if err := e.runIteration(iters, &active, row); err != nil {
 			return Result{}, err
+		}
+		if row != nil {
+			devNow := e.dev.Stats()
+			row.DeviceReadBytes = devNow.ReadBytes - devBefore.ReadBytes
+			row.DeviceWriteBytes = devNow.WriteBytes - devBefore.WriteBytes
+			row.DeviceSeeks = devNow.Seeks - devBefore.Seeks
+			e.eo.reg.RecordIter(*row)
 		}
 		iters++
 		if e.opts.MaxIterations > 0 && iters >= e.opts.MaxIterations {
@@ -155,12 +223,27 @@ func (e *Engine[V, E]) Run() (Result, error) {
 		}
 	}
 	e.finished = true
+	if e.eo.on {
+		foldDeviceStats(e.eo.reg, e.dev.Stats())
+	}
 	return Result{
 		Iterations:     iters,
 		Shards:         e.sh.NumShards(),
 		UpdatesRun:     e.updates,
 		EdgesTraversed: e.traversed,
+		Stages:         e.stages,
 	}, nil
+}
+
+// foldDeviceStats mirrors the device's cumulative counters into the
+// registry as gauges.
+func foldDeviceStats(reg *obs.Registry, st storage.Stats) {
+	reg.Gauge("device_read_ops").Set(st.ReadOps)
+	reg.Gauge("device_write_ops").Set(st.WriteOps)
+	reg.Gauge("device_read_bytes").Set(st.ReadBytes)
+	reg.Gauge("device_write_bytes").Set(st.WriteBytes)
+	reg.Gauge("device_seeks").Set(st.Seeks)
+	reg.Gauge("device_pagecache_hits").Set(st.CacheHits)
 }
 
 // loadDegrees makes the per-vertex degree index resident (this is the
@@ -256,12 +339,12 @@ func (c *shardCursor) invalidate() {
 }
 
 // runIteration performs one PSW pass over all intervals.
-func (e *Engine[V, E]) runIteration(iter int, active *bool) error {
+func (e *Engine[V, E]) runIteration(iter int, active *bool, row *obs.IterStats) error {
 	nShards := e.sh.NumShards()
 	// Per-shard sliding-window cursors, reset each iteration.
 	cursors := make([]shardCursor, nShards)
 	for p := 0; p < nShards; p++ {
-		if err := e.runInterval(p, iter, cursors, active); err != nil {
+		if err := e.runInterval(p, iter, cursors, active, row); err != nil {
 			return err
 		}
 	}
@@ -275,11 +358,15 @@ type memShard[E any] struct {
 }
 
 // runInterval executes updates for interval p.
-func (e *Engine[V, E]) runInterval(p, iter int, cursors []shardCursor, active *bool) error {
+func (e *Engine[V, E]) runInterval(p, iter int, cursors []shardCursor, active *bool, row *obs.IterStats) error {
 	lo, hi := e.sh.IntervalStart[p], e.sh.IntervalStart[p+1]
 	count := int(hi - lo)
 	if count == 0 {
 		return nil
+	}
+	var t time.Time
+	if e.eo.on {
+		t = time.Now()
 	}
 	// Load vertex states.
 	if err := e.loadVertices(lo, hi); err != nil {
@@ -324,6 +411,9 @@ func (e *Engine[V, E]) runInterval(p, iter int, cursors []shardCursor, active *b
 			src: w.src, dst: w.dst, vals: w.vals,
 		})
 	}
+	if e.eo.on {
+		t = e.recordStage(obs.StageSio, iter, p, t, row)
+	}
 
 	// Build the subgraph: per-vertex in-edge and out-edge reference
 	// lists.
@@ -340,6 +430,9 @@ func (e *Engine[V, E]) runInterval(p, iter int, cursors []shardCursor, active *b
 			out[s-lo] = append(out[s-lo], EdgeRef[E]{Neighbor: w.dst[i], Val: &w.vals[i]})
 		}
 	}
+	if e.eo.on {
+		t = e.recordStage(obs.StageDispatch, iter, p, t, row)
+	}
 
 	// Update vertices in ID order.
 	ctx := &Context{iteration: iter, active: active}
@@ -351,6 +444,9 @@ func (e *Engine[V, E]) runInterval(p, iter int, cursors []shardCursor, active *b
 		e.traversed += ne
 		e.charge(1, sim.CostVertexUpdate)
 		e.charge(ne, sim.CostEdgeScan)
+	}
+	if e.eo.on {
+		t = e.recordStage(obs.StageWorker, iter, p, t, row)
 	}
 
 	// Write back: vertex states, the memory shard, and the windows.
@@ -367,6 +463,9 @@ func (e *Engine[V, E]) runInterval(p, iter int, cursors []shardCursor, active *b
 		if err := e.storeShardRange(w.shard, w.startEntry, w.src, w.dst, w.vals); err != nil {
 			return err
 		}
+	}
+	if e.eo.on {
+		e.recordStage(obs.StageDrain, iter, p, t, row)
 	}
 	return nil
 }

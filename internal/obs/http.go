@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the registry in the Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// MetricsServer is a live observability endpoint: /metrics (Prometheus
+// text) plus the standard /debug/pprof/ handlers, served while a run is
+// in flight.
+type MetricsServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// StartMetricsServer listens on addr (":0" picks a free port) and serves
+// the registry and pprof until Close.
+func StartMetricsServer(addr string, reg *Registry) (*MetricsServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	s := &MetricsServer{l: l, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(l) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The pipeline stage names shared by every engine's spans and counters,
+// mirroring the paper's runtime components: Sio (block reads off the
+// device), Dispatcher (block parsing), Worker (vertex updates), and
+// MsgManager (pending-message drain). The analog engines reuse the same
+// names for their closest equivalents so comparisons stay
+// apples-to-apples.
+const (
+	StageSio      = "sio"
+	StageDispatch = "dispatch"
+	StageWorker   = "worker"
+	StageDrain    = "drain"
+)
+
+// StageTimes is wall-clock time attributed to each pipeline stage.
+type StageTimes struct {
+	Sio      time.Duration
+	Dispatch time.Duration
+	Worker   time.Duration
+	Drain    time.Duration
+}
+
+// AddStage adds d to the named stage; unknown names are dropped.
+func (s *StageTimes) AddStage(stage string, d time.Duration) {
+	switch stage {
+	case StageSio:
+		s.Sio += d
+	case StageDispatch:
+		s.Dispatch += d
+	case StageWorker:
+		s.Worker += d
+	case StageDrain:
+		s.Drain += d
+	}
+}
+
+// Add accumulates o into s.
+func (s *StageTimes) Add(o StageTimes) {
+	s.Sio += o.Sio
+	s.Dispatch += o.Dispatch
+	s.Worker += o.Worker
+	s.Drain += o.Drain
+}
+
+// Total returns the summed stage time.
+func (s StageTimes) Total() time.Duration {
+	return s.Sio + s.Dispatch + s.Worker + s.Drain
+}
+
+// IterStats is one iteration's observability breakdown: stage wall times,
+// message routing counts, pipeline stalls, and device traffic deltas.
+// Engines record one row per iteration via Registry.RecordIter.
+type IterStats struct {
+	Iteration int
+	Stages    StageTimes
+
+	// Message routing (GraphZ engine; zero for the analogs).
+	MessagesInline   int64 // applied immediately, destination resident
+	MessagesBuffered int64 // queued for a non-resident destination
+	MessagesSpilled  int64 // buffered messages that reached the device
+
+	// Pipeline behavior.
+	PrefetchStalls int64 // Worker waited on an empty Sio queue
+	AdjCacheHits   int64 // partitions served from the resident adjacency cache
+
+	// Device traffic during the iteration (delta of storage.Stats).
+	DeviceReadBytes  int64
+	DeviceWriteBytes int64
+	DeviceSeeks      int64
+}
+
+// FormatIterTable renders per-iteration rows as an aligned text table for
+// the post-run summary.
+func FormatIterTable(rows []IterStats) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	header := []string{"iter", "sio", "dispatch", "worker", "drain",
+		"inline", "buffered", "spilled", "stalls", "readB", "writeB", "seeks"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Iteration),
+			fmtShortDur(r.Stages.Sio),
+			fmtShortDur(r.Stages.Dispatch),
+			fmtShortDur(r.Stages.Worker),
+			fmtShortDur(r.Stages.Drain),
+			fmt.Sprintf("%d", r.MessagesInline),
+			fmt.Sprintf("%d", r.MessagesBuffered),
+			fmt.Sprintf("%d", r.MessagesSpilled),
+			fmt.Sprintf("%d", r.PrefetchStalls),
+			fmt.Sprintf("%d", r.DeviceReadBytes),
+			fmt.Sprintf("%d", r.DeviceWriteBytes),
+			fmt.Sprintf("%d", r.DeviceSeeks),
+		})
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// fmtShortDur prints a duration compactly with three significant figures
+// at most.
+func fmtShortDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer writes one JSONL event per span to its sink. A nil *Tracer is
+// valid: Start returns an inert Span and Emit drops the event, so engines
+// trace unconditionally and pay only a nil check when tracing is off.
+//
+// Span schema (one JSON object per line):
+//
+//	{"ts":<unix-nanos>,"engine":"graphz","stage":"sio","iter":0,"part":2,"dur_ns":12345}
+//
+// ts is the span's start time; stage is one of the Stage* constants (or
+// an engine-specific name); iter and part identify the (iteration,
+// partition) the span covers.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	err   error
+	spans atomic.Int64
+}
+
+// NewTracer wraps a sink. If w also implements io.Closer, Close closes it
+// after flushing.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Span is one in-flight timed region. The zero Span (from a nil Tracer)
+// is inert.
+type Span struct {
+	t      *Tracer
+	engine string
+	stage  string
+	iter   int
+	part   int
+	start  time.Time
+}
+
+// Start opens a span; call End to emit it.
+func (t *Tracer) Start(engine, stage string, iter, part int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, engine: engine, stage: stage, iter: iter, part: part, start: time.Now()}
+}
+
+// End emits the span with its measured duration.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Emit(s.engine, s.stage, s.iter, s.part, s.start, time.Since(s.start))
+}
+
+// Emit writes one span event with an explicit start and duration; engines
+// use it for durations accumulated out-of-band (e.g. prefetch goroutine
+// read time).
+func (t *Tracer) Emit(engine, stage string, iter, part int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	_, err := fmt.Fprintf(t.w, "{\"ts\":%d,\"engine\":%q,\"stage\":%q,\"iter\":%d,\"part\":%d,\"dur_ns\":%d}\n",
+		start.UnixNano(), engine, stage, iter, part, dur.Nanoseconds())
+	if err != nil {
+		t.err = err
+		return
+	}
+	t.spans.Add(1)
+}
+
+// Spans returns the number of events emitted so far.
+func (t *Tracer) Spans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.spans.Load()
+}
+
+// Flush writes buffered events to the sink.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes and closes the sink (when it is an io.Closer).
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
