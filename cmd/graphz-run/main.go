@@ -42,6 +42,7 @@ func main() {
 		iters   = flag.Int("iters", 10, "iterations for pr/bp/rw")
 		source  = flag.Int("source", -1, "bfs/sssp source (original ID; default: max-degree vertex)")
 		pdrain  = flag.Bool("parallel-drain", false, "graphz: apply pending messages with the mutex-pool worker pool")
+		workers = flag.Int("workers", 1, "graphz: Worker-stage goroutines (deterministic chunked speculation; 1 = sequential)")
 		cache   = flag.Bool("cache-adjacency", false, "graphz: keep adjacency resident when it fits the budget")
 		top     = flag.Int("top", 5, "print the top-N result vertices")
 		maddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this address while the run is live (e.g. :8080, or :0 for a free port)")
@@ -111,7 +112,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache)
+		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *workers)
 	case "graphchi":
 		iterations, values, err = runGraphChi(dev, clock, reg, tracer, *algo, *budget, *iters, src)
 	case "xstream":
@@ -167,7 +168,7 @@ func importDOS(dev *storage.Device, prefix string) error {
 
 // runGraphZ preprocesses to DOS (or loads a pre-converted graph) and runs
 // the algorithm, returning values keyed by original IDs.
-func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj bool) (int, map[graph.VertexID]float64, error) {
+func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj bool, workers int) (int, map[graph.VertexID]float64, error) {
 	var g *dos.Graph
 	var err error
 	if preconverted {
@@ -188,7 +189,7 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer 
 	}
 	opts := core.Options{
 		MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
-		ParallelDrain: pdrain, CacheAdjacency: cacheAdj,
+		ParallelDrain: pdrain, CacheAdjacency: cacheAdj, WorkerParallelism: workers,
 		Obs: reg, Trace: tracer,
 	}
 	var res core.Result

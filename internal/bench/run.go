@@ -66,6 +66,11 @@ type RunConfig struct {
 	Engine Engine
 	Kind   storage.Kind
 	Budget int64
+	// Workers sets the GraphZ engines' Worker-stage parallelism
+	// (core.Options.WorkerParallelism); 0 or 1 keeps the sequential
+	// Worker. Results are bit-identical across settings, so it is a
+	// pure performance knob — and part of the memo key.
+	Workers int
 }
 
 // Outcome is everything the tables and figures report about one run.
@@ -232,10 +237,11 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 	}
 	out.IndexBytes = layout.IndexBytes()
 	opts := core.Options{
-		MemoryBudget:    cfg.Budget,
-		Clock:           clock,
-		DynamicMessages: cfg.Engine != GraphZNoDOSNoDM,
-		Obs:             reg,
+		MemoryBudget:      cfg.Budget,
+		Clock:             clock,
+		DynamicMessages:   cfg.Engine != GraphZNoDOSNoDM,
+		WorkerParallelism: cfg.Workers,
+		Obs:               reg,
 	}
 
 	source := graph.VertexID(0) // DOS relabels the max-degree vertex to 0

@@ -67,38 +67,65 @@ func (e *Engine[V, M]) maybeEnableAdjCache() {
 	}
 }
 
+// ensureAdjCached makes partition p's adjacency bytes for entry range
+// [start, end) resident, charging the one-time fill read. It must only
+// be called with the cache enabled, and only from the engine goroutine
+// (ps.fillNS and ps.cacheHit are not synchronized).
+func (e *Engine[V, M]) ensureAdjCached(p int, start, end int64, ps *pipeStats) error {
+	if e.adjCache[p] != nil {
+		if ps != nil {
+			ps.cacheHit = true
+		}
+		return nil
+	}
+	// First visit: one charged sequential read, then resident forever.
+	f, err := e.dev.Open(e.layout.EdgesFile())
+	if err != nil {
+		return err
+	}
+	data := make([]byte, (end-start)*4)
+	var t0 time.Time
+	if ps != nil {
+		t0 = time.Now()
+	}
+	r := storage.NewRangeReader(f, start*4, end*4)
+	if len(data) > 0 {
+		if err := r.ReadFull(data); err != nil {
+			return fmt.Errorf("core: caching adjacency of partition %d: %w", p, err)
+		}
+	}
+	if ps != nil {
+		ps.fillNS = int64(time.Since(t0))
+	}
+	e.adjCache[p] = data
+	return nil
+}
+
 // partitionEntrySource returns the adjacency source for partition p's
 // range [start, end) (in entries): the cache when resident, a caching
 // first read when enabled, or the Sio prefetcher. ps, when non-nil,
 // receives the pipeline's observability counters.
 func (e *Engine[V, M]) partitionEntrySource(p int, start, end int64, ps *pipeStats) (entrySource, error) {
 	if e.cacheOn {
-		if e.adjCache[p] == nil {
-			// First visit: one charged sequential read, then
-			// resident forever.
-			f, err := e.dev.Open(e.layout.EdgesFile())
-			if err != nil {
-				return nil, err
-			}
-			data := make([]byte, (end-start)*4)
-			var t0 time.Time
-			if ps != nil {
-				t0 = time.Now()
-			}
-			r := storage.NewRangeReader(f, start*4, end*4)
-			if len(data) > 0 {
-				if err := r.ReadFull(data); err != nil {
-					return nil, fmt.Errorf("core: caching adjacency of partition %d: %w", p, err)
-				}
-			}
-			if ps != nil {
-				ps.fillNS = int64(time.Since(t0))
-			}
-			e.adjCache[p] = data
-		} else if ps != nil {
-			ps.cacheHit = true
+		if err := e.ensureAdjCached(p, start, end, ps); err != nil {
+			return nil, err
 		}
 		return &memEntryStream{data: e.adjCache[p]}, nil
+	}
+	return newEntryStream(e.dev, e.layout.EdgesFile(), start, end, ps)
+}
+
+// rangeEntrySource returns an adjacency source for an arbitrary entry
+// sub-range [start, end) of partition p, whose full range began at
+// partStart. The cached path serves a zero-copy sub-slice (the cache
+// must already be resident); the streaming path opens its own bounded
+// prefetcher, safe to run concurrently with others. ps may be shared
+// across concurrent sources — it only uses atomic fields off the engine
+// goroutine.
+func (e *Engine[V, M]) rangeEntrySource(p int, partStart, start, end int64, ps *pipeStats) (entrySource, error) {
+	if e.cacheOn {
+		data := e.adjCache[p]
+		return &memEntryStream{data: data[(start-partStart)*4 : (end-partStart)*4]}, nil
 	}
 	return newEntryStream(e.dev, e.layout.EdgesFile(), start, end, ps)
 }

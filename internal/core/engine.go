@@ -94,6 +94,18 @@ type Options struct {
 	// Requires Program.Apply to be commutative and associative; leave
 	// off for order-sensitive applies.
 	ParallelDrain bool
+	// WorkerParallelism runs the Worker stage on this many goroutines.
+	// Each resident partition's vertex range is split into contiguous
+	// chunks that execute speculatively in parallel and commit in
+	// ascending order, replaying their message logs through the
+	// sequential inline-apply/buffer/spill routing; chunks invalidated
+	// by an earlier chunk's in-partition message are re-executed at
+	// commit time, so the observable operation sequence — and every
+	// vertex state byte — is identical to the sequential engine
+	// (DESIGN.md, "Deterministic parallel Worker stage"). Values <= 1
+	// keep the sequential Worker. Unlike ParallelDrain, this mode does
+	// NOT require Apply to commute.
+	WorkerParallelism int
 	// CacheAdjacency keeps adjacency bytes resident after their first
 	// read when the whole graph fits the leftover budget, eliminating
 	// per-iteration edge IO (the in-memory optimization the paper
@@ -443,13 +455,64 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 		ps = &pipeStats{}
 		partStart = time.Now()
 	}
-	stream, err := e.partitionEntrySource(p, start, end, ps)
+	parallel := e.workerCount() > 1 && count > 1
+	var stream entrySource
+	if parallel {
+		// The cache first-fill is a Sio-attributed read; do it before
+		// the worker clock starts, mirroring the sequential path where
+		// the fill happens during stream creation.
+		if e.cacheOn {
+			if err := e.ensureAdjCached(p, start, end, ps); err != nil {
+				return err
+			}
+		}
+	} else {
+		s, err := e.partitionEntrySource(p, start, end, ps)
+		if err != nil {
+			return err
+		}
+		stream = s
+		defer stream.stop()
+	}
+
+	// --- Worker: update vertices in order, intercepting messages ---
+	var workerStart time.Time
+	if e.eo.on {
+		workerStart = time.Now()
+	}
+	var active bool
+	var err error
+	if parallel {
+		active, err = e.runWorkerParallel(p, iter, lo, hi, start, end, ps, row)
+	} else {
+		active, err = e.runWorkerSequential(stream, iter, lo, hi)
+	}
 	if err != nil {
 		return err
 	}
-	defer stream.stop()
+	if e.eo.on {
+		e.recordWorker(iter, p, workerStart, row)
+		e.recordPipe(ps, iter, p, partStart, row)
+	}
+	if active {
+		e.active = true
+	}
 
-	// --- Worker: update vertices in order, intercepting messages ---
+	// Flush this partition's vertex states back to the device.
+	return e.storeVertices(lo, hi)
+}
+
+// workerCount resolves the configured Worker-stage parallelism.
+func (e *Engine[V, M]) workerCount() int {
+	if e.opts.WorkerParallelism < 1 {
+		return 1
+	}
+	return e.opts.WorkerParallelism
+}
+
+// runWorkerSequential is the seed Worker stage: update vertices in
+// ascending ID order, intercepting every message the program sends.
+func (e *Engine[V, M]) runWorkerSequential(stream entrySource, iter int, lo, hi graph.VertexID) (bool, error) {
 	active := false
 	ctx := &Context[M]{
 		iteration: iter,
@@ -473,10 +536,6 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 		e.bufferMessage(dst, m)
 	}
 
-	var workerStart time.Time
-	if e.eo.on {
-		workerStart = time.Now()
-	}
 	var adj []graph.VertexID
 	for v := lo; v < hi; v++ {
 		deg := e.layout.DegreeOf(v)
@@ -484,7 +543,7 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 		for i := uint32(0); i < deg; i++ {
 			entry, err := stream.next()
 			if err != nil {
-				return fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
+				return false, fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
 			}
 			adj = append(adj, entry)
 		}
@@ -493,16 +552,7 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 		e.charge(1, sim.CostVertexUpdate)
 		e.charge(int64(deg), sim.CostEdgeScan)
 	}
-	if e.eo.on {
-		e.recordWorker(iter, p, workerStart, row)
-		e.recordPipe(ps, iter, p, partStart, row)
-	}
-	if active {
-		e.active = true
-	}
-
-	// Flush this partition's vertex states back to the device.
-	return e.storeVertices(lo, hi)
+	return active, nil
 }
 
 // loadVertices brings [lo, hi) into e.verts: decoded from the vertex
@@ -564,7 +614,16 @@ func (e *Engine[V, M]) bufferMessage(dst graph.VertexID, m M) {
 	rec := 4 + e.msize
 	buf := e.msgBufs[p]
 	if buf == nil {
-		buf = make([]byte, 0, e.opts.MsgBufferBytes)
+		// The capacity must hold at least one whole record: the
+		// re-slice below would otherwise panic with slice bounds out
+		// of range whenever a record outgrows the configured buffer.
+		// New clamps MsgBufferBytes, but this hot path must not
+		// depend on a distant invariant surviving refactors.
+		c := e.opts.MsgBufferBytes
+		if c < rec {
+			c = rec
+		}
+		buf = make([]byte, 0, c)
 	}
 	n := len(buf)
 	buf = buf[:n+rec]

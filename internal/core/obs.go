@@ -37,6 +37,13 @@ type engineObs struct {
 	drainSerial   *obs.Counter // drain invocations by path
 	drainParallel *obs.Counter
 
+	// Worker sub-stage instruments for the chunked parallel Worker
+	// (Options.WorkerParallelism > 1); all zero on the sequential path.
+	workerChunks   *obs.Counter // chunks executed speculatively
+	workerReexecs  *obs.Counter // chunks invalidated and re-executed at commit
+	workerSpecNS   *obs.Counter // summed speculative-execution time across workers
+	workerCommitNS *obs.Counter // ordered commit (validate/replay/re-execute) time
+
 	workerHist *obs.Histogram // per-partition worker duration
 	drainHist  *obs.Histogram // per-partition drain duration
 }
@@ -64,23 +71,32 @@ func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
 		drainSerial:   reg.Counter("graphz_drain_serial_total"),
 		drainParallel: reg.Counter("graphz_drain_parallel_total"),
 
+		workerChunks:   reg.Counter("graphz_worker_chunks_total"),
+		workerReexecs:  reg.Counter("graphz_worker_chunk_reexecs_total"),
+		workerSpecNS:   reg.Counter("graphz_stage_worker_spec_ns_total"),
+		workerCommitNS: reg.Counter("graphz_stage_worker_commit_ns_total"),
+
 		workerHist: reg.Histogram("graphz_worker_partition_ns"),
 		drainHist:  reg.Histogram("graphz_drain_partition_ns"),
 	}
 }
 
 // pipeStats accumulates one partition's Sio/Dispatcher pipeline activity.
-// The producer (prefetch goroutine) writes the atomic fields; the
-// consumer (Worker thread) owns the rest.
+// With the parallel Worker, one pipeStats is shared by several concurrent
+// entry streams: producers (prefetch goroutines) write readNS/blocks and
+// consumers (worker goroutines) write stalls/stallNS/dispatchNS, so all
+// five are atomic. fillNS and cacheHit stay plain — they are written and
+// read only on the engine goroutine.
 type pipeStats struct {
-	readNS atomic.Int64 // producer: device read time
-	blocks atomic.Int64 // producer: blocks handed to the queue
+	readNS atomic.Int64 // producers: device read time
+	blocks atomic.Int64 // producers: blocks handed to the queue
 
-	stalls     int64 // consumer: recv found the queue empty
-	stallNS    int64 // consumer: time blocked on an empty queue
-	dispatchNS int64 // consumer: block parse (Dispatcher) time
-	fillNS     int64 // consumer: adjacency-cache first-fill read time
-	cacheHit   bool  // partition served from the resident cache
+	stalls     atomic.Int64 // consumers: recv found the queue empty
+	stallNS    atomic.Int64 // consumers: time blocked on an empty queue
+	dispatchNS atomic.Int64 // consumers: block parse (Dispatcher) time
+
+	fillNS   int64 // engine goroutine: adjacency-cache first-fill read time
+	cacheHit bool  // partition served from the resident cache
 }
 
 // recordPipe folds a finished partition's pipeline stats into spans,
@@ -88,11 +104,12 @@ type pipeStats struct {
 // duration spans.
 func (e *Engine[V, M]) recordPipe(ps *pipeStats, iter, p int, partStart time.Time, row *obs.IterStats) {
 	sio := time.Duration(ps.readNS.Load() + ps.fillNS)
-	dispatch := time.Duration(ps.dispatchNS)
+	dispatch := time.Duration(ps.dispatchNS.Load())
+	stalls := ps.stalls.Load()
 	e.eo.tr.Emit(engineName, obs.StageSio, iter, p, partStart, sio)
 	e.eo.tr.Emit(engineName, obs.StageDispatch, iter, p, partStart, dispatch)
 	e.eo.sioBlocks.Add(ps.blocks.Load())
-	e.eo.sioStalls.Add(ps.stalls)
+	e.eo.sioStalls.Add(stalls)
 	e.eo.sioNS.Add(int64(sio))
 	e.eo.dispatchNS.Add(int64(dispatch))
 	if ps.cacheHit {
@@ -103,10 +120,24 @@ func (e *Engine[V, M]) recordPipe(ps *pipeStats, iter, p int, partStart time.Tim
 	if row != nil {
 		row.Stages.Sio += sio
 		row.Stages.Dispatch += dispatch
-		row.PrefetchStalls += ps.stalls
+		row.PrefetchStalls += stalls
 		if ps.cacheHit {
 			row.AdjCacheHits++
 		}
+	}
+}
+
+// recordParallelWorker accounts the chunked Worker's sub-stages: how many
+// chunks ran, how many were invalidated and re-executed, the summed
+// speculative compute across workers, and the ordered-commit time.
+func (e *Engine[V, M]) recordParallelWorker(chunks, reexecs, specNS, commitNS int64, row *obs.IterStats) {
+	e.eo.workerChunks.Add(chunks)
+	e.eo.workerReexecs.Add(reexecs)
+	e.eo.workerSpecNS.Add(specNS)
+	e.eo.workerCommitNS.Add(commitNS)
+	if row != nil {
+		row.WorkerChunks += chunks
+		row.WorkerReexecs += reexecs
 	}
 }
 

@@ -29,7 +29,31 @@ const mutexPoolSize = 64
 // drainChunkRecords is the batch size each worker claims at once.
 const drainChunkRecords = 1024
 
+// maxDrainChunkBytes caps the streaming drain's read chunk regardless of
+// budget; past a few MB larger reads stop helping sequential bandwidth.
+const maxDrainChunkBytes = 4 << 20
+
+// drainChunkBytes sizes the streaming drain's file-read chunk: a slice
+// of the memory budget (the spill file itself is unbounded — it holds a
+// whole iteration's cross-partition traffic and regularly exceeds the
+// budget), record-aligned, and at least one pool batch per worker so
+// small chunks do not serialize the pool.
+func (e *Engine[V, M]) drainChunkBytes() int {
+	rec := 4 + e.msize
+	c := int(e.opts.MemoryBudget / 8)
+	if lo := drainChunkRecords * rec; c < lo {
+		c = lo
+	}
+	if c > maxDrainChunkBytes {
+		c = maxDrainChunkBytes
+	}
+	return c / rec * rec
+}
+
 // drainMessagesParallel is the concurrent counterpart of drainMessages.
+// The spilled records are streamed in bounded record-aligned chunks —
+// never materializing the whole file, whose size is not covered by the
+// memory budget — and each chunk is fanned out across the worker pool.
 func (e *Engine[V, M]) drainMessagesParallel(p int, lo graph.VertexID) error {
 	rec := 4 + e.msize
 	f, err := e.dev.Open(e.msgFile(p))
@@ -39,67 +63,34 @@ func (e *Engine[V, M]) drainMessagesParallel(p int, lo graph.VertexID) error {
 	if f.Size()%int64(rec) != 0 {
 		return fmt.Errorf("core: message file %q torn (%d bytes, record %d)", e.msgFile(p), f.Size(), rec)
 	}
-	// Read the spilled records (block-sized device reads), then fan the
-	// applies out across the pool.
-	data := make([]byte, f.Size())
-	if len(data) > 0 {
+
+	var locks [mutexPoolSize]sync.Mutex
+	var applied int64
+	remaining := f.Size()
+	if remaining > 0 {
 		r := storage.NewReader(f)
-		if err := r.ReadFull(data); err != nil {
-			return fmt.Errorf("core: draining messages for partition %d: %w", p, err)
+		chunk := make([]byte, e.drainChunkBytes())
+		for remaining > 0 {
+			n := int64(len(chunk))
+			if n > remaining {
+				n = remaining
+			}
+			if err := r.ReadFull(chunk[:n]); err != nil {
+				return fmt.Errorf("core: draining messages for partition %d: %w", p, err)
+			}
+			e.applyChunkParallel(chunk[:n], lo, &locks)
+			applied += n / int64(rec)
+			remaining -= n
 		}
 	}
 	mem := e.msgBufs[p]
-	total := len(data)/rec + len(mem)/rec
-
-	if total > 0 {
-		var locks [mutexPoolSize]sync.Mutex
-		workers := runtime.GOMAXPROCS(0)
-		if workers > 4 {
-			workers = 4
-		}
-		var next int64
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		apply := func(recBytes []byte) {
-			dst := graph.VertexID(binary.LittleEndian.Uint32(recBytes))
-			m := e.mcodec.Decode(recBytes[4:])
-			l := &locks[dst%mutexPoolSize]
-			l.Lock()
-			e.prog.Apply(&e.verts[dst-lo], m)
-			l.Unlock()
-		}
-		recAt := func(i int) []byte {
-			if off := i * rec; off < len(data) {
-				return data[off : off+rec]
-			}
-			off := i*rec - len(data)
-			return mem[off : off+rec]
-		}
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					mu.Lock()
-					start := next
-					next += drainChunkRecords
-					mu.Unlock()
-					if start >= int64(total) {
-						return
-					}
-					end := start + drainChunkRecords
-					if end > int64(total) {
-						end = int64(total)
-					}
-					for i := start; i < end; i++ {
-						apply(recAt(int(i)))
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		e.applied += int64(total)
-		e.charge(int64(total), sim.CostMessageApply)
+	if len(mem) > 0 {
+		e.applyChunkParallel(mem, lo, &locks)
+		applied += int64(len(mem) / rec)
+	}
+	if applied > 0 {
+		e.applied += applied
+		e.charge(applied, sim.CostMessageApply)
 	}
 
 	if err := f.Truncate(0); err != nil {
@@ -109,4 +100,59 @@ func (e *Engine[V, M]) drainMessagesParallel(p int, lo graph.VertexID) error {
 		e.msgBufs[p] = mem[:0]
 	}
 	return nil
+}
+
+// applyChunkParallel applies one record-aligned batch of pending
+// messages across the pool, striping vertex locks to serialize
+// same-destination applies.
+func (e *Engine[V, M]) applyChunkParallel(data []byte, lo graph.VertexID, locks *[mutexPoolSize]sync.Mutex) {
+	rec := 4 + e.msize
+	total := len(data) / rec
+	if total == 0 {
+		return
+	}
+	apply := func(recBytes []byte) {
+		dst := graph.VertexID(binary.LittleEndian.Uint32(recBytes))
+		m := e.mcodec.Decode(recBytes[4:])
+		l := &locks[dst%mutexPoolSize]
+		l.Lock()
+		e.prog.Apply(&e.verts[dst-lo], m)
+		l.Unlock()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	if workers < 2 || total <= drainChunkRecords {
+		for i := 0; i < total; i++ {
+			apply(data[i*rec : (i+1)*rec])
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				start := next
+				next += drainChunkRecords
+				mu.Unlock()
+				if start >= int64(total) {
+					return
+				}
+				end := start + drainChunkRecords
+				if end > int64(total) {
+					end = int64(total)
+				}
+				for i := start; i < end; i++ {
+					apply(data[int(i)*rec : int(i+1)*rec])
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"graphz/internal/graph"
+	"graphz/internal/obs"
+	"graphz/internal/sim"
+)
+
+// Deterministic parallel Worker stage (Options.WorkerParallelism).
+//
+// The paper's ordering guarantee (Section V) demands that every run
+// perform the identical sequence of operations: updates in ascending ID
+// order, each ordered dynamic message applied the moment it is sent. A
+// naive parallel Worker breaks that, because a vertex's update must see
+// the applies of every earlier in-partition sender. This file keeps the
+// guarantee with optimistic concurrency:
+//
+//  1. The resident partition's vertex range is split into contiguous
+//     chunks. Each chunk's adjacency sub-range is computable up front
+//     (DOS makes offsets arithmetic), so chunks read the device — or
+//     the resident adjacency cache — independently.
+//  2. Chunks execute speculatively on a pool: each worker decodes a
+//     private copy of its chunk's post-drain vertex states from a
+//     codec snapshot, runs Update in ID order, applies intra-chunk
+//     dynamic messages to its private states immediately (exactly as
+//     the sequential Worker would), and logs every extra-chunk message
+//     in send order.
+//  3. A single committer consumes chunks in ascending order. A clean
+//     chunk commits by installing its speculated states and replaying
+//     its log through the sequential inline-apply/buffer/spill routing.
+//     Any in-partition apply that lands in a not-yet-committed chunk
+//     marks that chunk dirty: its speculation read stale inputs, so at
+//     its turn it is re-executed sequentially on the live states — the
+//     exact operation sequence the sequential Worker performs.
+//
+// Because commits happen in chunk order and a chunk's speculation is
+// only kept when nothing mutated its inputs, the observable sequence of
+// updates, applies, buffered records, and spills — and therefore every
+// vertex-state byte — is identical to the sequential engine. Programs
+// whose dynamic messages rarely land in later chunks of the same
+// partition (cross-partition traffic, sparse activations, or static
+// messages, which never invalidate anything) get near-linear Worker
+// speedup; dense in-partition forward traffic (PageRank's votes)
+// degrades gracefully to sequential re-execution, never to a wrong
+// answer. See DESIGN.md, "Deterministic parallel Worker stage".
+//
+// Requirements: Program.Update/Apply must not touch shared mutable
+// state beyond the vertex passed in (true of every program in this
+// repository), and the vertex codec must round-trip exactly (the engine
+// already assumes this — states are round-tripped at every partition
+// switch).
+
+// chunksPerWorker over-partitions the vertex range so commit-order
+// head-of-line blocking and load imbalance stay small.
+const chunksPerWorker = 4
+
+// inFlightWindowFactor bounds speculated-but-uncommitted chunks (their
+// private states and message logs) to workers*factor.
+const inFlightWindowFactor = 2
+
+// workerChunk is one contiguous vertex sub-range of a partition and
+// everything its speculative execution produced.
+type workerChunk[V any] struct {
+	part             int
+	lo, hi           graph.VertexID // vertex sub-range [lo, hi)
+	partStartOff     int64          // partition's first entry offset
+	startOff, endOff int64          // chunk's entry offsets [startOff, endOff)
+	degs             []uint32       // out-degrees for [lo, hi), precomputed
+
+	states []V    // speculated vertex states (private deep copies)
+	log    []byte // extra-chunk messages, send order: 4 B dst + msize
+	sent   int64  // all messages sent by the chunk
+	inline int64  // intra-chunk dynamic messages applied privately
+	edges  int64  // adjacency entries consumed
+	active bool
+	durNS  int64 // speculation wall time (metrics only)
+	err    error
+	done   chan struct{}
+}
+
+// runWorkerParallel executes the Worker stage of partition p (vertex
+// range [lo, hi), entry range [start, end)) on the configured worker
+// pool. It returns the partition's activity flag, exactly as
+// runWorkerSequential does.
+func (e *Engine[V, M]) runWorkerParallel(p, iter int, lo, hi graph.VertexID, start, end int64, ps *pipeStats, row *obs.IterStats) (bool, error) {
+	count := int(hi - lo)
+	workers := e.workerCount()
+	numChunks := workers * chunksPerWorker
+	if numChunks > count {
+		numChunks = count
+	}
+	chunkSize := (count + numChunks - 1) / numChunks
+	numChunks = (count + chunkSize - 1) / chunkSize
+
+	// Degrees and chunk offsets are precomputed on the engine
+	// goroutine: the DOS layout's cursor is not safe for concurrent
+	// lookups, and the ascending scan is what it is optimized for.
+	degs := make([]uint32, count)
+	chunkOff := make([]int64, numChunks+1)
+	off := start
+	for i := 0; i < count; i++ {
+		if i%chunkSize == 0 {
+			chunkOff[i/chunkSize] = off
+		}
+		d := e.layout.DegreeOf(lo + graph.VertexID(i))
+		degs[i] = d
+		off += int64(d)
+	}
+	chunkOff[numChunks] = off
+	if off != end {
+		return false, fmt.Errorf("core: partition %d adjacency range [%d,%d) disagrees with degree sum %d", p, start, end, off-start)
+	}
+
+	// Deep snapshot of the post-drain vertex states through the codec:
+	// speculating workers decode their chunk from these bytes, so they
+	// never share mutable state (slices inside V included) with
+	// e.verts, which only the committer touches.
+	snap := make([]byte, count*e.vsize)
+	for i := 0; i < count; i++ {
+		e.vcodec.Encode(snap[i*e.vsize:], e.verts[i])
+	}
+
+	chunks := make([]*workerChunk[V], numChunks)
+	for i := range chunks {
+		clo := lo + graph.VertexID(i*chunkSize)
+		chi := clo + graph.VertexID(chunkSize)
+		if chi > hi {
+			chi = hi
+		}
+		chunks[i] = &workerChunk[V]{
+			part: p, lo: clo, hi: chi,
+			partStartOff: start,
+			startOff:     chunkOff[i], endOff: chunkOff[i+1],
+			degs: degs[clo-lo : chi-lo],
+			done: make(chan struct{}),
+		}
+	}
+
+	// Per-chunk start gates keep speculated-but-uncommitted chunks
+	// within the window: gate i opens when chunk i-window commits.
+	// Gating by chunk index (instead of a counting semaphore) makes the
+	// scheme deadlock-free by construction — the chunk the committer is
+	// waiting for always has an open gate.
+	window := workers * inFlightWindowFactor
+	gates := make([]chan struct{}, numChunks)
+	for i := range gates {
+		gates[i] = make(chan struct{})
+		if i < window {
+			close(gates[i])
+		}
+	}
+	abort := make(chan struct{})
+	var wg sync.WaitGroup
+	defer func() {
+		close(abort)
+		wg.Wait()
+	}()
+
+	for i, c := range chunks {
+		gate := gates[i]
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-gate:
+			case <-abort:
+				close(c.done)
+				return
+			}
+			e.speculateChunk(c, snap, lo, iter, ps)
+			close(c.done)
+		}()
+	}
+
+	dirty := make([]bool, numChunks)
+	var reexecs, specNS, commitNS int64
+	active := false
+	for i, c := range chunks {
+		<-c.done
+		if c.err != nil {
+			return false, c.err
+		}
+		specNS += c.durNS
+		var t0 time.Time
+		if e.eo.on {
+			t0 = time.Now()
+		}
+		if dirty[i] {
+			// An earlier chunk's dynamic message landed here after
+			// the snapshot: the speculation read stale inputs.
+			// Discard it and run the chunk sequentially on the live
+			// states — the exact sequential operation sequence.
+			if err := e.reexecuteChunk(c, iter, lo, hi, chunkSize, dirty, &active, ps); err != nil {
+				return false, err
+			}
+			reexecs++
+		} else {
+			e.commitChunk(c, lo, hi, chunkSize, dirty, &active)
+		}
+		if e.eo.on {
+			commitNS += int64(time.Since(t0))
+		}
+		c.states, c.log, c.degs = nil, nil, nil
+		if next := i + window; next < numChunks {
+			close(gates[next])
+		}
+	}
+	if e.eo.on {
+		e.recordParallelWorker(int64(numChunks), reexecs, specNS, commitNS, row)
+	}
+	return active, nil
+}
+
+// speculateChunk runs one chunk's updates against a private copy of its
+// vertex states. It mutates nothing shared: messages leaving the chunk
+// are logged, counters are accumulated locally, and the committer folds
+// everything in later.
+func (e *Engine[V, M]) speculateChunk(c *workerChunk[V], snap []byte, partLo graph.VertexID, iter int, ps *pipeStats) {
+	var t0 time.Time
+	if e.eo.on {
+		t0 = time.Now()
+	}
+	src, err := e.rangeEntrySource(c.part, c.partStartOff, c.startOff, c.endOff, ps)
+	if err != nil {
+		c.err = err
+		return
+	}
+	defer src.stop()
+
+	n := int(c.hi - c.lo)
+	c.states = make([]V, n)
+	base := int(c.lo-partLo) * e.vsize
+	for i := 0; i < n; i++ {
+		c.states[i] = e.vcodec.Decode(snap[base+i*e.vsize:])
+	}
+
+	act := false
+	ctx := &Context[M]{iteration: iter, active: &act}
+	rec := 4 + e.msize
+	ctx.send = func(dst graph.VertexID, m M) {
+		c.sent++
+		if e.opts.DynamicMessages && dst >= c.lo && dst < c.hi {
+			// Intra-chunk ordered dynamic message: the chunk runs
+			// sequentially, so applying to the private state is
+			// exactly what the sequential Worker does.
+			e.prog.Apply(&c.states[dst-c.lo], m)
+			c.inline++
+			return
+		}
+		off := len(c.log)
+		c.log = growRecord(c.log, rec)
+		binary.LittleEndian.PutUint32(c.log[off:], uint32(dst))
+		e.mcodec.Encode(c.log[off+4:], m)
+	}
+
+	var adj []graph.VertexID
+	for v := c.lo; v < c.hi; v++ {
+		deg := c.degs[v-c.lo]
+		adj = adj[:0]
+		for i := uint32(0); i < deg; i++ {
+			entry, err := src.next()
+			if err != nil {
+				c.err = fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
+				return
+			}
+			adj = append(adj, entry)
+		}
+		e.prog.Update(ctx, v, &c.states[v-c.lo], adj)
+		c.edges += int64(deg)
+	}
+	c.active = act
+	if e.eo.on {
+		c.durNS = int64(time.Since(t0))
+	}
+}
+
+// commitChunk installs a clean chunk's speculated states, folds its
+// locally accumulated counters and compute charges, and replays its
+// extra-chunk message log — in send order — through the sequential
+// routing. In-partition applies that land in a later, uncommitted chunk
+// mark it dirty.
+func (e *Engine[V, M]) commitChunk(c *workerChunk[V], lo, hi graph.VertexID, chunkSize int, dirty []bool, active *bool) {
+	copy(e.verts[c.lo-lo:c.hi-lo], c.states)
+	n := int64(len(c.states))
+	e.updates += n
+	e.charge(n, sim.CostVertexUpdate)
+	e.charge(c.edges, sim.CostEdgeScan)
+	e.sent += c.sent
+	e.charge(c.sent, sim.CostMessageSend)
+	e.inline += c.inline
+	e.applied += c.inline
+	e.eo.inline.Add(c.inline)
+	e.charge(c.inline, sim.CostMessageApply)
+	if c.active {
+		*active = true
+	}
+	rec := 4 + e.msize
+	for off := 0; off+rec <= len(c.log); off += rec {
+		dst := graph.VertexID(binary.LittleEndian.Uint32(c.log[off:]))
+		m := e.mcodec.Decode(c.log[off+4:])
+		// Already counted in c.sent; route exactly as the sequential
+		// send does.
+		if e.opts.DynamicMessages && dst >= lo && dst < hi {
+			e.prog.Apply(&e.verts[dst-lo], m)
+			e.applied++
+			e.inline++
+			e.eo.inline.Inc()
+			e.charge(1, sim.CostMessageApply)
+			dirty[int(dst-lo)/chunkSize] = true
+			continue
+		}
+		e.bufferedN++
+		e.eo.buffered.Inc()
+		e.bufferMessage(dst, m)
+	}
+}
+
+// reexecuteChunk runs an invalidated chunk's updates sequentially on the
+// live vertex states with the full sequential send path — the fallback
+// that preserves the ordering guarantee when speculation lost its bet.
+func (e *Engine[V, M]) reexecuteChunk(c *workerChunk[V], iter int, lo, hi graph.VertexID, chunkSize int, dirty []bool, active *bool, ps *pipeStats) error {
+	src, err := e.rangeEntrySource(c.part, c.partStartOff, c.startOff, c.endOff, ps)
+	if err != nil {
+		return err
+	}
+	defer src.stop()
+
+	act := false
+	ctx := &Context[M]{iteration: iter, active: &act}
+	ctx.send = func(dst graph.VertexID, m M) {
+		e.sent++
+		e.charge(1, sim.CostMessageSend)
+		if e.opts.DynamicMessages && dst >= lo && dst < hi {
+			e.prog.Apply(&e.verts[dst-lo], m)
+			e.applied++
+			e.inline++
+			e.eo.inline.Inc()
+			e.charge(1, sim.CostMessageApply)
+			dirty[int(dst-lo)/chunkSize] = true
+			return
+		}
+		e.bufferedN++
+		e.eo.buffered.Inc()
+		e.bufferMessage(dst, m)
+	}
+
+	var adj []graph.VertexID
+	for v := c.lo; v < c.hi; v++ {
+		deg := c.degs[v-c.lo]
+		adj = adj[:0]
+		for i := uint32(0); i < deg; i++ {
+			entry, err := src.next()
+			if err != nil {
+				return fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
+			}
+			adj = append(adj, entry)
+		}
+		e.prog.Update(ctx, v, &e.verts[v-lo], adj)
+		e.updates++
+		e.charge(1, sim.CostVertexUpdate)
+		e.charge(int64(deg), sim.CostEdgeScan)
+	}
+	if act {
+		*active = true
+	}
+	return nil
+}
+
+// growRecord extends b by rec bytes, reallocating geometrically.
+func growRecord(b []byte, rec int) []byte {
+	n := len(b)
+	if n+rec <= cap(b) {
+		return b[:n+rec]
+	}
+	newCap := 2 * (n + rec)
+	if newCap < 1024 {
+		newCap = 1024
+	}
+	nb := make([]byte, n+rec, newCap)
+	copy(nb, b)
+	return nb
+}

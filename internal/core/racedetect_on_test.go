@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled gates timing-sensitive tests that are meaningless under
+// the race detector's instrumentation overhead.
+const raceEnabled = true

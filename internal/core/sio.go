@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphz/internal/graph"
@@ -14,9 +15,31 @@ import (
 // blockPool recycles Sio prefetch buffers; the repro environment's note
 // about Go GC pressure on edge buffers is real — per-block allocations
 // across every partition of every iteration would churn hundreds of MB.
-var blockPool = sync.Pool{
-	New: func() any { return make([]byte, storage.DefaultBlockSize) },
+// The pool counts gets and puts so tests can assert that no code path
+// loses a buffer (one atomic add per 256 KiB block is noise).
+var blockPool = &countedPool{
+	pool: sync.Pool{New: func() any { return make([]byte, storage.DefaultBlockSize) }},
 }
+
+// countedPool wraps sync.Pool with get/put accounting.
+type countedPool struct {
+	pool       sync.Pool
+	gets, puts atomic.Int64
+}
+
+func (p *countedPool) Get() []byte {
+	p.gets.Add(1)
+	return p.pool.Get().([]byte)
+}
+
+func (p *countedPool) Put(buf []byte) {
+	p.puts.Add(1)
+	p.pool.Put(buf[:cap(buf)]) //nolint:staticcheck // slice header reuse is intended
+}
+
+// outstanding returns how many buffers are currently checked out; once
+// every stream is stopped it must be back to its starting value.
+func (p *countedPool) outstanding() int64 { return p.gets.Load() - p.puts.Load() }
 
 // entryStream is the Sio + Dispatcher pair of the paper's runtime
 // (Section V-A): a prefetch goroutine reads adjacency blocks sequentially
@@ -61,7 +84,7 @@ func newEntryStream(dev *storage.Device, file string, start, end int64, met *pip
 	go func() {
 		defer close(s.blocks)
 		for {
-			buf := blockPool.Get().([]byte)
+			buf := blockPool.Get()
 			var t0 time.Time
 			if met != nil {
 				t0 = time.Now()
@@ -77,10 +100,14 @@ func newEntryStream(dev *storage.Device, file string, start, end int64, met *pip
 				select {
 				case s.blocks <- sioBlock{data: buf[:n]}:
 				case <-s.stopc:
+					// Early stop with the block still in hand:
+					// ownership never transferred, so recycle it
+					// here or it is lost to the GC.
+					blockPool.Put(buf)
 					return
 				}
 			} else {
-				blockPool.Put(buf) //nolint:staticcheck // slice header reuse is intended
+				blockPool.Put(buf)
 			}
 			if err == io.EOF {
 				return
@@ -123,7 +150,7 @@ func (s *entryStream) next() (graph.VertexID, error) {
 		// Entries never straddle blocks: block size is a multiple
 		// of the entry size and ranges are entry-aligned.
 		if s.cur != nil {
-			blockPool.Put(s.cur[:cap(s.cur)]) //nolint:staticcheck
+			blockPool.Put(s.cur)
 			s.cur = nil
 		}
 		blk, ok := <-s.blocks
@@ -171,8 +198,8 @@ func (s *entryStream) nextParsed() (graph.VertexID, error) {
 			s.entries[i] = graph.VertexID(binary.LittleEndian.Uint32(blk.data[i*4:]))
 		}
 		s.epos = 0
-		s.met.dispatchNS += int64(time.Since(t0))
-		blockPool.Put(blk.data[:cap(blk.data)]) //nolint:staticcheck
+		s.met.dispatchNS.Add(int64(time.Since(t0)))
+		blockPool.Put(blk.data)
 	}
 	v := s.entries[s.epos]
 	s.epos++
@@ -191,8 +218,8 @@ func (s *entryStream) recvBlock() (sioBlock, bool) {
 	t0 := time.Now()
 	blk, ok := <-s.blocks
 	if ok {
-		s.met.stalls++
-		s.met.stallNS += int64(time.Since(t0))
+		s.met.stalls.Add(1)
+		s.met.stallNS.Add(int64(time.Since(t0)))
 	}
 	return blk, ok
 }
@@ -203,11 +230,11 @@ func (s *entryStream) stop() {
 	close(s.stopc)
 	for blk := range s.blocks {
 		if blk.data != nil {
-			blockPool.Put(blk.data[:cap(blk.data)]) //nolint:staticcheck
+			blockPool.Put(blk.data)
 		}
 	}
 	if s.cur != nil {
-		blockPool.Put(s.cur[:cap(s.cur)]) //nolint:staticcheck
+		blockPool.Put(s.cur)
 		s.cur = nil
 	}
 }

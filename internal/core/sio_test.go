@@ -2,7 +2,9 @@ package core
 
 import (
 	"encoding/binary"
+	"runtime"
 	"testing"
+	"time"
 
 	"graphz/internal/graph"
 	"graphz/internal/storage"
@@ -82,6 +84,47 @@ func TestEntryStreamMissingFile(t *testing.T) {
 	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
 	if _, err := newEntryStream(dev, "missing", 0, 1, nil); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+// TestEntryStreamStopRecyclesInFlightBlock: stopping a stream while the
+// producer is blocked handing over a block used to leak that block — the
+// stop branch returned without putting the in-hand buffer back, so every
+// early partition stop (engine errors, parallel-worker chunk sources)
+// bled one pooled block. The pool's get/put accounting must balance
+// after every stop.
+func TestEntryStreamStopRecyclesInFlightBlock(t *testing.T) {
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	// Many more blocks than the queue holds, so the producer always has
+	// an undelivered block in hand when stopped.
+	entries := make([]uint32, 1<<21) // 8 MB: 32 blocks
+	for i := range entries {
+		entries[i] = uint32(i)
+	}
+	entryFile(t, dev, "e", entries)
+
+	for i := 0; i < 10; i++ {
+		before := blockPool.outstanding()
+		gets0 := blockPool.gets.Load()
+		s, err := newEntryStream(dev, "e", 0, int64(len(entries)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wait until the producer has filled the queue and taken the
+		// next block in hand (queue depth + 1 gets), the state the
+		// leaky path fired from.
+		deadline := time.Now().Add(5 * time.Second)
+		for blockPool.gets.Load()-gets0 < sioQueueDepth+1 {
+			if time.Now().After(deadline) {
+				t.Fatal("producer never filled the prefetch queue")
+			}
+			runtime.Gosched()
+		}
+		s.stop()
+		if got := blockPool.outstanding(); got != before {
+			t.Fatalf("iteration %d: %d pooled blocks outstanding after stop, want %d",
+				i, got, before)
+		}
 	}
 }
 

@@ -70,6 +70,10 @@ type IterStats struct {
 	PrefetchStalls int64 // Worker waited on an empty Sio queue
 	AdjCacheHits   int64 // partitions served from the resident adjacency cache
 
+	// Chunked parallel Worker sub-stage (zero on the sequential path).
+	WorkerChunks  int64 // chunks executed speculatively
+	WorkerReexecs int64 // chunks invalidated by an earlier chunk's message and re-executed
+
 	// Device traffic during the iteration (delta of storage.Stats).
 	DeviceReadBytes  int64
 	DeviceWriteBytes int64
@@ -83,7 +87,7 @@ func FormatIterTable(rows []IterStats) string {
 		return ""
 	}
 	header := []string{"iter", "sio", "dispatch", "worker", "drain",
-		"inline", "buffered", "spilled", "stalls", "readB", "writeB", "seeks"}
+		"inline", "buffered", "spilled", "stalls", "reexec", "readB", "writeB", "seeks"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -96,6 +100,7 @@ func FormatIterTable(rows []IterStats) string {
 			fmt.Sprintf("%d", r.MessagesBuffered),
 			fmt.Sprintf("%d", r.MessagesSpilled),
 			fmt.Sprintf("%d", r.PrefetchStalls),
+			fmt.Sprintf("%d", r.WorkerReexecs),
 			fmt.Sprintf("%d", r.DeviceReadBytes),
 			fmt.Sprintf("%d", r.DeviceWriteBytes),
 			fmt.Sprintf("%d", r.DeviceSeeks),
