@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench
+.PHONY: build test check fmt vet race bench smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,14 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/checkpoint/... ./internal/storage/...
 
 bench:
 	$(GO) test -bench BenchmarkEngine -benchmem -run '^$$' ./internal/core/
+
+# smoke runs the randomized crash-recovery property tests: engines killed
+# at random device operations must resume to byte-identical results.
+smoke:
+	$(GO) test -run 'TestCrashRecovery' -count=1 -v ./internal/core/
 
 check: fmt vet race

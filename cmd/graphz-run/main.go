@@ -8,6 +8,9 @@
 //	graphz-run -in graph.bin -algo pr -engine graphz [-device ssd] [-budget 8388608]
 //	graphz-run -in graph.bin -algo bfs -engine xstream -source 12
 //	graphz-run -in graph.bin -dos graph.dos -algo pr   # reuse graphz-convert output
+//	graphz-run -gen rmat -gen-scale 12 -seed 7 -algo cc  # generated input, reproducible by seed
+//	graphz-run -in graph.bin -algo pr -checkpoint-dir /tmp/ck   # durable run
+//	graphz-run -in graph.bin -algo pr -checkpoint-dir /tmp/ck -resume  # continue after a crash
 package main
 
 import (
@@ -20,9 +23,11 @@ import (
 	"graphz/internal/algo/chialgo"
 	"graphz/internal/algo/graphzalgo"
 	"graphz/internal/algo/xsalgo"
+	"graphz/internal/checkpoint"
 	"graphz/internal/core"
 	"graphz/internal/dos"
 	"graphz/internal/energy"
+	"graphz/internal/gen"
 	"graphz/internal/graph"
 	"graphz/internal/graphchi"
 	"graphz/internal/obs"
@@ -47,26 +52,61 @@ func main() {
 		top     = flag.Int("top", 5, "print the top-N result vertices")
 		maddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this address while the run is live (e.g. :8080, or :0 for a free port)")
 		traceTo = flag.String("trace", "", "write one JSONL span per (iteration, partition, stage) to this file")
+		ckDir   = flag.String("checkpoint-dir", "", "graphz: write iteration-boundary checkpoints to this host directory (see docs/DURABILITY.md)")
+		ckEvery = flag.Int("checkpoint-every", 1, "graphz: checkpoint after every Nth iteration (with -checkpoint-dir)")
+		ckKeep  = flag.Int("checkpoint-keep", 2, "graphz: checkpoints to retain (with -checkpoint-dir)")
+		resume  = flag.Bool("resume", false, "graphz: resume from the newest checkpoint in -checkpoint-dir; rerun with the same input (same -in, or same -gen and -seed) so the rebuilt graph matches")
+		genKind = flag.String("gen", "", "generate the input instead of -in: rmat, zipf, er, or grid")
+		genScl  = flag.Int("gen-scale", 10, "rmat generator: scale (2^scale vertices)")
+		genV    = flag.Int("gen-vertices", 1024, "zipf/er generator: vertices; grid: side length")
+		genE    = flag.Int("gen-edges", 8192, "rmat/zipf/er generator: edges")
+		genS    = flag.Float64("gen-s", 1.2, "zipf generator: skew exponent")
+		seed    = flag.Uint64("seed", 1, "generator seed; the same seed always yields the same graph and run")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "graphz-run: -in is required")
+	if (*in == "") == (*genKind == "") {
+		fmt.Fprintln(os.Stderr, "graphz-run: exactly one of -in or -gen is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if (*ckDir != "" || *resume) && *engine != "graphz" {
+		fatal(fmt.Errorf("-checkpoint-dir/-resume need -engine graphz, got %q", *engine))
+	}
+	if *resume && *ckDir == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
 	}
 	kind := storage.SSD
 	if *device == "hdd" {
 		kind = storage.HDD
 	}
 
-	raw, err := os.ReadFile(*in)
-	if err != nil {
-		fatal(err)
-	}
 	clock := sim.NewClock()
 	dev := storage.NewDevice(kind, storage.Options{Clock: clock})
-	if err := storage.WriteAll(dev, "raw", raw); err != nil {
-		fatal(err)
+	if *in != "" {
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		if err := storage.WriteAll(dev, "raw", raw); err != nil {
+			fatal(err)
+		}
+	} else {
+		var genEdges []graph.Edge
+		switch *genKind {
+		case "rmat":
+			genEdges = gen.RMAT(*genScl, *genE, gen.NaturalRMAT, *seed)
+		case "zipf":
+			genEdges = gen.Zipf(*genV, *genE, *genS, *seed)
+		case "er":
+			genEdges = gen.ErdosRenyi(*genV, *genE, *seed)
+		case "grid":
+			genEdges = gen.Grid(*genV, *genV)
+		default:
+			fatal(fmt.Errorf("unknown generator %q (want rmat, zipf, er, or grid)", *genKind))
+		}
+		if err := graph.WriteEdges(dev, "raw", genEdges); err != nil {
+			fatal(err)
+		}
 	}
 
 	edges, err := graph.ReadEdges(dev, "raw")
@@ -112,7 +152,15 @@ func main() {
 				fatal(err)
 			}
 		}
-		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *workers)
+		ck := core.CheckpointOptions{Dir: *ckDir, Every: *ckEvery, Keep: *ckKeep, Resume: *resume}
+		if *resume {
+			if st, serr := checkpoint.NewStore(*ckDir); serr == nil && st.HasCheckpoint() {
+				if latest, lerr := st.Latest(); lerr == nil {
+					fmt.Printf("checkpoint: resuming from iteration %d in %s\n", latest.Manifest.Iteration, *ckDir)
+				}
+			}
+		}
+		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *workers, ck)
 	case "graphchi":
 		iterations, values, err = runGraphChi(dev, clock, reg, tracer, *algo, *budget, *iters, src)
 	case "xstream":
@@ -126,7 +174,11 @@ func main() {
 
 	rep := energy.Measure(clock, kind)
 	st := dev.Stats()
-	fmt.Printf("%s %s on %s (%s, %d B budget)\n", *engine, *algo, *in, kind, *budget)
+	inputName := *in
+	if inputName == "" {
+		inputName = fmt.Sprintf("gen:%s(seed=%d)", *genKind, *seed)
+	}
+	fmt.Printf("%s %s on %s (%s, %d B budget)\n", *engine, *algo, inputName, kind, *budget)
 	fmt.Printf("  iterations:   %d\n", iterations)
 	fmt.Printf("  modeled time: %v (compute %v, IO %v)\n", clock.Total(), clock.TotalCompute(), clock.TotalIO())
 	fmt.Printf("  device:       reads %d ops / %d B, writes %d ops / %d B, seeks %d, page-cache hits %d\n",
@@ -168,7 +220,7 @@ func importDOS(dev *storage.Device, prefix string) error {
 
 // runGraphZ preprocesses to DOS (or loads a pre-converted graph) and runs
 // the algorithm, returning values keyed by original IDs.
-func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj bool, workers int) (int, map[graph.VertexID]float64, error) {
+func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj bool, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
 	var g *dos.Graph
 	var err error
 	if preconverted {
@@ -190,7 +242,13 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer 
 	opts := core.Options{
 		MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
 		ParallelDrain: pdrain, CacheAdjacency: cacheAdj, WorkerParallelism: workers,
-		Obs: reg, Trace: tracer,
+		Obs: reg, Trace: tracer, Checkpoint: ck,
+	}
+	if ck.Dir != "" {
+		// Bind checkpoints to the algorithm: resuming a "pr" checkpoint
+		// under -algo bfs fails the manifest's name check instead of
+		// silently mixing states.
+		opts.Name = "graphz-" + algo
 	}
 	var res core.Result
 	var vals []float64
@@ -251,6 +309,10 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer 
 		collectU(v)
 	default:
 		return 0, nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if ck.Dir != "" {
+		fmt.Printf("checkpoint: %d written (%d B, %v) -> %s\n",
+			res.Checkpoints, res.CheckpointBytes, res.CheckpointTime, ck.Dir)
 	}
 	out := make(map[graph.VertexID]float64, len(vals))
 	for newID, val := range vals {

@@ -209,3 +209,32 @@ func TestGraphChiFastFail(t *testing.T) {
 		t.Error("failure should report the index size")
 	}
 }
+
+func TestRunCheckpointedMatchesPlain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the harness end to end")
+	}
+	base := Run(RunConfig{Scale: Small, Algo: CC, Engine: GraphZ, Kind: storage.SSD, Budget: Mem8})
+	ck := Run(RunConfig{Scale: Small, Algo: CC, Engine: GraphZ, Kind: storage.SSD, Budget: Mem8, CheckpointEvery: 1})
+	if base.Failed() || ck.Failed() {
+		t.Fatalf("runs failed: %v / %v", base.Err, ck.Err)
+	}
+	if ck.Checkpoints == 0 || ck.CheckpointBytes == 0 || ck.CheckpointTime <= 0 {
+		t.Fatalf("checkpointed run reported no checkpoint work: %+v", ck)
+	}
+	if base.Checkpoints != 0 {
+		t.Fatalf("plain run reported %d checkpoints", base.Checkpoints)
+	}
+	// Checkpoints only read state: the algorithm outcome is unchanged,
+	// and the modeled runtime grows by the charged checkpoint IO.
+	if ck.Iterations != base.Iterations || ck.Spilled != base.Spilled || ck.Inline != base.Inline {
+		t.Fatalf("checkpointing changed the run: base %+v, ckpt %+v", base, ck)
+	}
+	if ck.Runtime <= base.Runtime {
+		t.Errorf("checkpoint IO should cost modeled time: base %v, ckpt %v", base.Runtime, ck.Runtime)
+	}
+	table := TableCheckpointOverhead(Small, storage.SSD, Mem8)
+	if !strings.Contains(table, "Checkpoint overhead") || !strings.Contains(table, "PR") {
+		t.Fatalf("overhead table malformed:\n%s", table)
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -71,6 +72,12 @@ type RunConfig struct {
 	// Worker. Results are bit-identical across settings, so it is a
 	// pure performance knob — and part of the memo key.
 	Workers int
+	// CheckpointEvery enables GraphZ iteration-boundary checkpointing
+	// to a throwaway host directory every N iterations (0 disables).
+	// Results are identical with or without it — checkpoints only read
+	// engine state — so it isolates the durability overhead the
+	// checkpoint table reports. Part of the memo key.
+	CheckpointEvery int
 }
 
 // Outcome is everything the tables and figures report about one run.
@@ -93,6 +100,10 @@ type Outcome struct {
 	// Stages is the per-pipeline-stage wall-clock breakdown reported by
 	// the engine's observability layer.
 	Stages obs.StageTimes
+	// Checkpoint accounting (GraphZ engines with CheckpointEvery > 0).
+	Checkpoints     int64
+	CheckpointBytes int64
+	CheckpointTime  time.Duration
 }
 
 // Failed reports whether the run could not execute (index too large,
@@ -243,6 +254,14 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 		WorkerParallelism: cfg.Workers,
 		Obs:               reg,
 	}
+	if cfg.CheckpointEvery > 0 {
+		ckdir, err := os.MkdirTemp("", "graphz-bench-ckpt-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(ckdir)
+		opts.Checkpoint = core.CheckpointOptions{Dir: ckdir, Every: cfg.CheckpointEvery}
+	}
 
 	source := graph.VertexID(0) // DOS relabels the max-degree vertex to 0
 	if cfg.Engine != GraphZ {
@@ -278,6 +297,9 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 	out.Inline = res.MessagesInline
 	out.SpillErrors = res.SpillErrors
 	out.Stages = res.Stages
+	out.Checkpoints = res.Checkpoints
+	out.CheckpointBytes = res.CheckpointBytes
+	out.CheckpointTime = res.CheckpointTime
 	return nil
 }
 

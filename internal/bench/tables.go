@@ -480,3 +480,30 @@ func Figure9() string {
 	return FormatTable("Figure 9: external IO, large graph (SSD, 8GB analog)",
 		[]string{"benchmark", "engine", "read", "written", "seeks"}, rows)
 }
+
+// TableCheckpointOverhead quantifies the durability tax: every benchmark
+// on the GraphZ engine with checkpointing off versus checkpointing every
+// iteration, the modeled-runtime overhead that induces, and the
+// checkpoint volume written. Not a paper table — it documents what the
+// checkpoint/restore subsystem (docs/DURABILITY.md) costs.
+func TableCheckpointOverhead(s Scale, kind storage.Kind, budget int64) string {
+	header := []string{"benchmark", "no ckpt", "ckpt every it", "overhead", "ckpts", "ckpt bytes"}
+	var rows [][]string
+	for _, a := range Algos {
+		base := Run(RunConfig{Scale: s, Algo: a, Engine: GraphZ, Kind: kind, Budget: budget})
+		ck := Run(RunConfig{Scale: s, Algo: a, Engine: GraphZ, Kind: kind, Budget: budget, CheckpointEvery: 1})
+		row := []string{string(a), outcomeCell(base), outcomeCell(ck)}
+		if base.Failed() || ck.Failed() || base.Runtime <= 0 {
+			row = append(row, "-", "-", "-")
+		} else {
+			row = append(row,
+				fmt.Sprintf("%+.1f%%", 100*(float64(ck.Runtime)/float64(base.Runtime)-1)),
+				fmt.Sprint(ck.Checkpoints),
+				fmtBytes(ck.CheckpointBytes))
+		}
+		rows = append(rows, row)
+	}
+	return FormatTable(
+		fmt.Sprintf("Checkpoint overhead: %s graph (%s, checkpoint every iteration)", s.Name, kind),
+		header, rows)
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"graphz/internal/checkpoint"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// CheckpointOptions enables iteration-boundary checkpointing (see
+// docs/DURABILITY.md). Checkpoints go to a host-filesystem directory —
+// the durable volume of the deployment — while the graph and runtime
+// files stay on the simulated device.
+type CheckpointOptions struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// Every checkpoints after every Nth completed iteration (and always
+	// after the final one); <= 0 means every iteration.
+	Every int
+	// Keep bounds how many checkpoints are retained; <= 0 keeps 2, so
+	// one damaged-at-rest checkpoint never strands the run.
+	Keep int
+	// Resume makes Run continue from the newest complete checkpoint in
+	// Dir when one exists (and start fresh when the directory is empty
+	// or absent). A corrupt checkpoint is an error, never a silent
+	// restart. Engine.Resume is the explicit form.
+	Resume bool
+}
+
+func (c CheckpointOptions) enabled() bool { return c.Dir != "" }
+
+func (c CheckpointOptions) every() int {
+	if c.Every <= 0 {
+		return 1
+	}
+	return c.Every
+}
+
+func (c CheckpointOptions) keep() int {
+	if c.Keep <= 0 {
+		return 2
+	}
+	return c.Keep
+}
+
+// initCheckpointing opens the checkpoint store and fingerprints the
+// layout. Requires the layout index to be resident (DegreeOf).
+func (e *Engine[V, M]) initCheckpointing() error {
+	if !e.opts.Checkpoint.enabled() {
+		return nil
+	}
+	st, err := checkpoint.NewStore(e.opts.Checkpoint.Dir)
+	if err != nil {
+		return err
+	}
+	e.ckStore = st
+	e.layoutHash = e.computeLayoutHash()
+	return nil
+}
+
+// computeLayoutHash fingerprints the graph layout a checkpoint is bound
+// to: global shape plus sampled degrees. DOS conversion is deterministic,
+// so rebuilding the same input graph after a crash reproduces the hash;
+// a different graph (or a different layout of the same graph) does not.
+func (e *Engine[V, M]) computeLayoutHash() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(b[:], x)
+		h.Write(b[:])
+	}
+	put(uint64(e.layout.NumVertices()))
+	put(uint64(e.layout.NumEdges()))
+	put(uint64(e.layout.IndexBytes()))
+	put(uint64(e.vsize))
+	put(uint64(e.msize))
+	if n := e.layout.NumVertices(); n > 0 {
+		stride := n/64 + 1
+		for v := 0; v < n; v += stride {
+			put(uint64(v)<<32 | uint64(e.layout.DegreeOf(graph.VertexID(v))))
+		}
+	}
+	return h.Sum64()
+}
+
+// checkpointCounters snapshots the cumulative counters for the manifest.
+func (e *Engine[V, M]) checkpointCounters() checkpoint.Counters {
+	return checkpoint.Counters{
+		Sent:     e.sent,
+		Applied:  e.applied,
+		Inline:   e.inline,
+		Buffered: e.bufferedN,
+		Spilled:  e.spilled,
+		Updates:  e.updates,
+	}
+}
+
+// msgSectionName names the checkpoint section holding partition p's
+// spilled-message file; tailSectionName holds its in-memory buffer.
+// They are kept separate so a resumed run reproduces not just the
+// message stream (file ++ tail, in send order) but the exact buffer
+// occupancy — and with it every future spill boundary, keeping the
+// resumed run's counters identical to the uninterrupted run's.
+func msgSectionName(p int) string  { return fmt.Sprintf("msgs.%d", p) }
+func tailSectionName(p int) string { return fmt.Sprintf("tail.%d", p) }
+
+// writeCheckpoint persists the engine state after iteration `iters`
+// completed: vertex states, each partition's spilled-message file, and
+// each partition's in-memory buffer tail.
+func (e *Engine[V, M]) writeCheckpoint(iters int, done bool) error {
+	start := time.Now()
+	vstate, err := storage.ReadAllFile(e.dev, e.vstateFile())
+	if err != nil {
+		return fmt.Errorf("core: checkpoint at iteration %d: reading vertex states: %w", iters, err)
+	}
+	secs := make([]checkpoint.SectionData, 0, 1+2*len(e.msgBufs))
+	secs = append(secs, checkpoint.SectionData{Name: "vstate", Data: vstate})
+	for p := range e.msgBufs {
+		data, err := storage.ReadAllFile(e.dev, e.msgFile(p))
+		if err != nil {
+			return fmt.Errorf("core: checkpoint at iteration %d: reading messages of partition %d: %w", iters, p, err)
+		}
+		secs = append(secs,
+			checkpoint.SectionData{Name: msgSectionName(p), Data: data},
+			checkpoint.SectionData{Name: tailSectionName(p), Data: e.msgBufs[p]})
+	}
+	m := checkpoint.Manifest{
+		Name:       e.opts.Name,
+		LayoutHash: e.layoutHash,
+		Iteration:  iters,
+		Converged:  done,
+		Partitions: e.NumPartitions(),
+		VSize:      e.vsize,
+		MSize:      e.msize,
+		Counters:   e.checkpointCounters(),
+	}
+	n, err := e.ckStore.Write(m, secs)
+	if err != nil {
+		return fmt.Errorf("core: writing checkpoint at iteration %d: %w", iters, err)
+	}
+	if err := e.ckStore.Prune(e.opts.Checkpoint.keep()); err != nil {
+		return err
+	}
+	e.chargeCheckpointIO(n, false)
+	d := time.Since(start)
+	e.ckCount++
+	e.ckBytes += n
+	e.ckNS += int64(d)
+	e.eo.ckpts.Inc()
+	e.eo.ckptBytes.Add(n)
+	e.eo.ckptNS.Add(int64(d))
+	e.eo.ckptHist.Observe(d)
+	return nil
+}
+
+// chargeCheckpointIO charges the modeled clock for moving n checkpoint
+// bytes, using the data device's cost profile as a stand-in for the
+// durable volume — this is what makes checkpoint overhead visible in the
+// bench tables' modeled Runtime.
+func (e *Engine[V, M]) chargeCheckpointIO(n int64, read bool) {
+	if e.opts.Clock == nil {
+		return
+	}
+	prof := storage.ProfileFor(e.dev.Kind())
+	t := prof.SeekLatency
+	bw := prof.WriteBandwidth
+	if read {
+		bw = prof.ReadBandwidth
+	}
+	if bw > 0 {
+		t += time.Duration(float64(n) / bw * float64(time.Second))
+	}
+	e.opts.Clock.IO(t)
+}
+
+// Resume validates the newest checkpoint in Options.Checkpoint.Dir and
+// continues the run from it: a converged checkpoint just restores the
+// final vertex states; an in-flight one re-enters the iteration loop at
+// iteration k. Validation failures return the typed errors of package
+// checkpoint (ErrNoCheckpoint, ErrTruncated, ErrCRCMismatch,
+// ErrVersionTooNew, ErrLayoutMismatch, ErrConfigMismatch) — never a
+// panic, and never a silent restart from iteration 0.
+func (e *Engine[V, M]) Resume() (Result, error) {
+	if e.finished {
+		return Result{}, fmt.Errorf("core: engine already ran; create a new one")
+	}
+	if !e.opts.Checkpoint.enabled() {
+		return Result{}, fmt.Errorf("core: Resume without Options.Checkpoint.Dir")
+	}
+	if err := e.layout.LoadIndex(); err != nil {
+		return Result{}, err
+	}
+	if err := e.initCheckpointing(); err != nil {
+		return Result{}, err
+	}
+	return e.resume()
+}
+
+// resume does the restore work once index and store are ready.
+func (e *Engine[V, M]) resume() (Result, error) {
+	start := time.Now()
+	ck, err := e.ckStore.Latest()
+	if err != nil {
+		return Result{}, err
+	}
+	m := ck.Manifest
+	if m.Name != e.opts.Name {
+		return Result{}, fmt.Errorf("%w: checkpoint is for engine %q, this engine is %q",
+			checkpoint.ErrConfigMismatch, m.Name, e.opts.Name)
+	}
+	if m.LayoutHash != e.layoutHash {
+		return Result{}, fmt.Errorf("%w: checkpoint hash %016x, graph hash %016x",
+			checkpoint.ErrLayoutMismatch, m.LayoutHash, e.layoutHash)
+	}
+	nParts := e.NumPartitions()
+	if m.Partitions != nParts || m.VSize != e.vsize || m.MSize != e.msize {
+		return Result{}, fmt.Errorf("%w: checkpoint (partitions=%d vsize=%d msize=%d), engine (partitions=%d vsize=%d msize=%d)",
+			checkpoint.ErrConfigMismatch, m.Partitions, m.VSize, m.MSize, nParts, e.vsize, e.msize)
+	}
+	vstate, err := ck.Section("vstate")
+	if err != nil {
+		return Result{}, err
+	}
+	if want := e.layout.NumVertices() * e.vsize; len(vstate) != want {
+		return Result{}, fmt.Errorf("%w: vstate section is %d bytes, layout needs %d",
+			checkpoint.ErrTruncated, len(vstate), want)
+	}
+	if err := storage.WriteAll(e.dev, e.vstateFile(), vstate); err != nil {
+		return Result{}, fmt.Errorf("core: restoring vertex states: %w", err)
+	}
+	restored := int64(len(vstate))
+	// Spilled files go back to the device; buffer tails go back into
+	// memory at the exact occupancy — and capacity — they had, so both
+	// the drain order (file then tail) and every future spill boundary
+	// replay identically.
+	e.msgBufs = make([][]byte, nParts)
+	rec := int64(4 + e.msize)
+	for p := 0; p < nParts; p++ {
+		data, err := ck.Section(msgSectionName(p))
+		if err != nil {
+			return Result{}, err
+		}
+		tail, err := ck.Section(tailSectionName(p))
+		if err != nil {
+			return Result{}, err
+		}
+		if int64(len(data))%rec != 0 || int64(len(tail))%rec != 0 {
+			return Result{}, fmt.Errorf("%w: message sections of partition %d are %d+%d bytes, record size %d",
+				checkpoint.ErrTruncated, p, len(data), len(tail), rec)
+		}
+		if err := storage.WriteAll(e.dev, e.msgFile(p), data); err != nil {
+			return Result{}, fmt.Errorf("core: restoring messages of partition %d: %w", p, err)
+		}
+		if len(tail) > 0 {
+			// Same capacity rule as bufferMessage, so the refilled
+			// buffer spills at the same boundary it would have.
+			c := e.opts.MsgBufferBytes
+			if c < int(rec) {
+				c = int(rec)
+			}
+			e.msgBufs[p] = append(make([]byte, 0, c), tail...)
+		}
+		restored += int64(len(data) + len(tail))
+	}
+	e.sent = m.Counters.Sent
+	e.applied = m.Counters.Applied
+	e.inline = m.Counters.Inline
+	e.bufferedN = m.Counters.Buffered
+	e.spilled = m.Counters.Spilled
+	e.updates = m.Counters.Updates
+	e.chargeCheckpointIO(restored, true)
+	d := time.Since(start)
+	e.eo.restores.Inc()
+	e.eo.restoreNS.Add(int64(d))
+	if m.Converged {
+		// The checkpointed run already finished; nothing to iterate.
+		e.finished = true
+		e.removeMsgFiles(nParts)
+		if e.eo.on {
+			foldDeviceStats(e.eo.reg, e.dev.Stats())
+		}
+		return e.result(m.Iteration, nParts), nil
+	}
+	return e.loop(m.Iteration)
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"graphz/internal/checkpoint"
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/obs"
+	"graphz/internal/sim"
+	"graphz/internal/storage"
+)
+
+// stripDurability zeroes the fields that legitimately differ between an
+// uninterrupted run and a resumed one (how many checkpoints each wrote
+// and what they cost); everything else must match exactly.
+func stripDurability(r Result) Result {
+	r.Checkpoints = 0
+	r.CheckpointBytes = 0
+	r.CheckpointTime = 0
+	r.Stages = obs.StageTimes{}
+	return r
+}
+
+func ckptDirName(iter int) string { return fmt.Sprintf("ckpt-%010d", iter) }
+
+// latestManifestPath returns the newest checkpoint's MANIFEST file.
+func latestManifestPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*", "MANIFEST"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no manifest under %q (err=%v)", dir, err)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1]
+}
+
+func newMinLabelEngine(t *testing.T, g *dos.Graph, opts Options) *Engine[minVal, uint32] {
+	t.Helper()
+	eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func ckptBaseOpts(g *dos.Graph) Options {
+	return Options{
+		MemoryBudget:    budgetForPartitions(g, 8, 4, 64),
+		DynamicMessages: true,
+		MsgBufferBytes:  64,
+	}
+}
+
+// A checkpointed run must behave identically to a plain one (checkpoints
+// only read engine state) and report what it wrote.
+func TestCheckpointedRunMatchesPlain(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 41)
+	g := buildDOS(t, edges)
+	plainRes, plainVals := runMinLabel(t, g, ckptBaseOpts(g))
+
+	g2 := buildDOS(t, edges)
+	opts := ckptBaseOpts(g2)
+	opts.Checkpoint = CheckpointOptions{Dir: t.TempDir(), Every: 1}
+	ckRes, ckVals := runMinLabel(t, g2, opts)
+
+	if stripDurability(ckRes) != stripDurability(plainRes) {
+		t.Errorf("checkpointed result %+v differs from plain %+v", ckRes, plainRes)
+	}
+	if ckRes.Checkpoints != int64(ckRes.Iterations) {
+		t.Errorf("Checkpoints = %d, want one per iteration (%d)", ckRes.Checkpoints, ckRes.Iterations)
+	}
+	if ckRes.CheckpointBytes <= 0 {
+		t.Errorf("CheckpointBytes = %d, want > 0", ckRes.CheckpointBytes)
+	}
+	for i := range plainVals {
+		if plainVals[i] != ckVals[i] {
+			t.Fatalf("vertex %d: checkpointed %+v, plain %+v", i, ckVals[i], plainVals[i])
+		}
+	}
+}
+
+// Resuming from every possible mid-run checkpoint must reproduce the
+// uninterrupted run exactly: same vertex states, same counters.
+func TestResumeMidRunMatchesUninterrupted(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 42)
+	gRef := buildDOS(t, edges)
+	refRes, refVals := runMinLabel(t, gRef, ckptBaseOpts(gRef))
+	if refRes.Iterations < 3 {
+		t.Fatalf("graph converged in %d iterations; too few to test mid-run resume", refRes.Iterations)
+	}
+
+	for k := 1; k < refRes.Iterations; k++ {
+		dir := t.TempDir()
+		g1 := buildDOS(t, edges)
+		opts := ckptBaseOpts(g1)
+		opts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1, Keep: 1 << 20}
+		runMinLabel(t, g1, opts)
+		// Keep only checkpoints up to iteration k: the state of a run
+		// that crashed during iteration k+1.
+		st, err := checkpoint.NewStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iters, err := st.Iterations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range iters {
+			if it > k {
+				os.RemoveAll(filepath.Join(dir, ckptDirName(it)))
+			}
+		}
+
+		g2 := buildDOS(t, edges)
+		ropts := ckptBaseOpts(g2)
+		ropts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1, Resume: true}
+		eng := newMinLabelEngine(t, g2, ropts)
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("resume from iteration %d: %v", k, err)
+		}
+		vals, err := eng.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stripDurability(res) != stripDurability(refRes) {
+			t.Errorf("resume from %d: result %+v, uninterrupted %+v", k, res, refRes)
+		}
+		for i := range refVals {
+			if vals[i] != refVals[i] {
+				t.Fatalf("resume from %d: vertex %d = %+v, uninterrupted %+v", k, i, vals[i], refVals[i])
+			}
+		}
+	}
+}
+
+// Resuming a converged checkpoint restores the final state without
+// iterating.
+func TestResumeConvergedCheckpoint(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 43)
+	dir := t.TempDir()
+	g := buildDOS(t, edges)
+	opts := ckptBaseOpts(g)
+	opts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1}
+	refRes, refVals := runMinLabel(t, g, opts)
+
+	g2 := buildDOS(t, edges)
+	ropts := ckptBaseOpts(g2)
+	ropts.Checkpoint = CheckpointOptions{Dir: dir, Resume: true}
+	eng := newMinLabelEngine(t, g2, ropts)
+	res, err := eng.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdatesRun != refRes.UpdatesRun || res.Iterations != refRes.Iterations {
+		t.Errorf("converged resume ran work: %+v vs %+v", res, refRes)
+	}
+	vals, err := eng.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refVals {
+		if vals[i] != refVals[i] {
+			t.Fatalf("vertex %d: resumed %+v, original %+v", i, vals[i], refVals[i])
+		}
+	}
+}
+
+// Run with Resume set and an empty checkpoint directory starts fresh.
+func TestRunResumeEmptyDirStartsFresh(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 44)
+	gRef := buildDOS(t, edges)
+	refRes, refVals := runMinLabel(t, gRef, ckptBaseOpts(gRef))
+
+	g := buildDOS(t, edges)
+	opts := ckptBaseOpts(g)
+	opts.Checkpoint = CheckpointOptions{Dir: t.TempDir(), Every: 1, Resume: true}
+	res, vals := runMinLabel(t, g, opts)
+	if stripDurability(res) != stripDurability(refRes) {
+		t.Errorf("fresh-dir resume result %+v, want %+v", res, refRes)
+	}
+	for i := range refVals {
+		if vals[i] != refVals[i] {
+			t.Fatalf("vertex %d differs", i)
+		}
+	}
+}
+
+// convergedCheckpointDir runs a checkpointed min-label run to completion
+// and returns the edges and checkpoint dir for corruption tests.
+func convergedCheckpointDir(t *testing.T, seed uint64) ([]graph.Edge, string) {
+	t.Helper()
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, seed)
+	dir := t.TempDir()
+	g := buildDOS(t, edges)
+	opts := ckptBaseOpts(g)
+	opts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1}
+	runMinLabel(t, g, opts)
+	return edges, dir
+}
+
+// resumeWith builds a fresh engine over edges and calls Resume against
+// dir, returning the error (typed, never a panic).
+func resumeWith(t *testing.T, edges []graph.Edge, dir, name string) error {
+	t.Helper()
+	g := buildDOS(t, edges)
+	opts := ckptBaseOpts(g)
+	opts.Name = name
+	opts.Checkpoint = CheckpointOptions{Dir: dir, Resume: true}
+	eng := newMinLabelEngine(t, g, opts)
+	_, err := eng.Resume()
+	return err
+}
+
+func TestResumeNoCheckpoint(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 45)
+	if err := resumeWith(t, edges, t.TempDir(), ""); !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+		t.Fatalf("Resume on empty dir = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestResumeTruncatedManifest(t *testing.T) {
+	edges, dir := convergedCheckpointDir(t, 46)
+	path := latestManifestPath(t, dir)
+	if err := os.WriteFile(path, []byte("GZ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumeWith(t, edges, dir, ""); !errors.Is(err, checkpoint.ErrTruncated) {
+		t.Fatalf("Resume with truncated manifest = %v, want ErrTruncated", err)
+	}
+}
+
+func TestResumeManifestCRCMismatch(t *testing.T) {
+	edges, dir := convergedCheckpointDir(t, 47)
+	path := latestManifestPath(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+	if err := resumeWith(t, edges, dir, ""); !errors.Is(err, checkpoint.ErrCRCMismatch) {
+		t.Fatalf("Resume with corrupt manifest = %v, want ErrCRCMismatch", err)
+	}
+}
+
+func TestResumeVersionFromTheFuture(t *testing.T) {
+	edges, dir := convergedCheckpointDir(t, 48)
+	path := latestManifestPath(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint16(raw[6:], checkpoint.FormatVersion+1)
+	os.WriteFile(path, raw, 0o644)
+	if err := resumeWith(t, edges, dir, ""); !errors.Is(err, checkpoint.ErrVersionTooNew) {
+		t.Fatalf("Resume with future version = %v, want ErrVersionTooNew", err)
+	}
+}
+
+func TestResumeLayoutMismatch(t *testing.T) {
+	_, dir := convergedCheckpointDir(t, 49)
+	// A different graph: same generator family, different seed and size.
+	other := gen.RMAT(8, 1700, gen.NaturalRMAT, 50)
+	if err := resumeWith(t, other, dir, ""); !errors.Is(err, checkpoint.ErrLayoutMismatch) {
+		t.Fatalf("Resume against different graph = %v, want ErrLayoutMismatch", err)
+	}
+}
+
+func TestResumeConfigMismatch(t *testing.T) {
+	edges, dir := convergedCheckpointDir(t, 51)
+	if err := resumeWith(t, edges, dir, "other-engine"); !errors.Is(err, checkpoint.ErrConfigMismatch) {
+		t.Fatalf("Resume with different engine name = %v, want ErrConfigMismatch", err)
+	}
+}
+
+// Corrupting a section (not the manifest) must also fail with a typed
+// error at restore time.
+func TestResumeSectionCorruption(t *testing.T) {
+	edges, dir := convergedCheckpointDir(t, 52)
+	path := filepath.Dir(latestManifestPath(t, dir))
+	vstate := filepath.Join(path, "vstate")
+	raw, err := os.ReadFile(vstate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	os.WriteFile(vstate, raw, 0o644)
+	if err := resumeWith(t, edges, dir, ""); !errors.Is(err, checkpoint.ErrCRCMismatch) {
+		t.Fatalf("Resume with corrupt vstate = %v, want ErrCRCMismatch", err)
+	}
+}
+
+// Checkpoint observability: counters must reflect the run.
+func TestCheckpointObsCounters(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 53)
+	dir := t.TempDir()
+	g := buildDOS(t, edges)
+	reg := obs.NewRegistry()
+	opts := ckptBaseOpts(g)
+	opts.Obs = reg
+	opts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1}
+	res, _ := runMinLabel(t, g, opts)
+	if got := reg.CounterValue("graphz_checkpoint_total"); got != res.Checkpoints {
+		t.Errorf("graphz_checkpoint_total = %d, result says %d", got, res.Checkpoints)
+	}
+	if got := reg.CounterValue("graphz_checkpoint_bytes_total"); got != res.CheckpointBytes {
+		t.Errorf("graphz_checkpoint_bytes_total = %d, result says %d", got, res.CheckpointBytes)
+	}
+
+	g2 := buildDOS(t, edges)
+	reg2 := obs.NewRegistry()
+	ropts := ckptBaseOpts(g2)
+	ropts.Obs = reg2
+	ropts.Checkpoint = CheckpointOptions{Dir: dir, Resume: true}
+	eng := newMinLabelEngine(t, g2, ropts)
+	if _, err := eng.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.CounterValue("graphz_restore_total"); got != 1 {
+		t.Errorf("graphz_restore_total = %d, want 1", got)
+	}
+}
+
+// The engine keeps Keep checkpoints on disk, not one per iteration.
+func TestCheckpointPruningDuringRun(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 54)
+	dir := t.TempDir()
+	g := buildDOS(t, edges)
+	opts := ckptBaseOpts(g)
+	opts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1, Keep: 2}
+	res, _ := runMinLabel(t, g, opts)
+	if res.Iterations <= 2 {
+		t.Skipf("run converged in %d iterations; pruning not exercised", res.Iterations)
+	}
+	st, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, err := st.Iterations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 2 {
+		t.Fatalf("kept %v, want the newest 2", iters)
+	}
+	if iters[1] != res.Iterations {
+		t.Fatalf("newest checkpoint at iteration %d, run finished at %d", iters[1], res.Iterations)
+	}
+}
+
+// Checkpoint IO must charge the modeled clock on costed devices, so the
+// bench overhead column reflects modeled time, not just wall time.
+func TestCheckpointChargesModeledClock(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 55)
+	run := func(ckpt bool) int64 {
+		dev := storage.NewDevice(storage.HDD, storage.Options{})
+		if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+			t.Fatal(err)
+		}
+		g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock := sim.NewClock()
+		dev.SetClock(clock)
+		opts := ckptBaseOpts(g)
+		opts.Clock = clock
+		if ckpt {
+			opts.Checkpoint = CheckpointOptions{Dir: t.TempDir(), Every: 1}
+		}
+		runMinLabel(t, g, opts)
+		return int64(clock.Total())
+	}
+	plain, ck := run(false), run(true)
+	if ck <= plain {
+		t.Fatalf("modeled time with checkpoints (%d ns) not above plain (%d ns)", ck, plain)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// The crash-recovery property: for a checkpointed run killed at an
+// arbitrary device operation, resuming produces vertex states
+// byte-identical to an uninterrupted run — and identical counters. The
+// harness measures the run's device-op count with a probe, then crashes
+// trial runs at seeded random operations (with torn writes) and resumes
+// each on the same post-crash device after a "reboot" (Disarm).
+
+// splitmix64 for trial randomness, seeded per harness so runs reproduce.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// buildDOSOn converts edges on the given device (deterministically: the
+// same edges always produce the same layout, which is what lets a
+// rebuilt graph pass the checkpoint's layout-hash check).
+func buildDOSOn(t *testing.T, dev *storage.Device, edges []graph.Edge) *dos.Graph {
+	t.Helper()
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func encodeStates[V any](vc graph.Codec[V], vals []V) []byte {
+	enc := make([]byte, len(vals)*vc.Size())
+	for i, v := range vals {
+		vc.Encode(enc[i*vc.Size():], v)
+	}
+	return enc
+}
+
+func crashRecoveryHarness[V, M any](t *testing.T, edges []graph.Edge, prog Program[V, M], vc graph.Codec[V], mc graph.Codec[M], maxIters, workers int, seed uint64) {
+	t.Helper()
+	baseOpts := func(g *dos.Graph) Options {
+		return Options{
+			MemoryBudget:      budgetForPartitions(g, int64(vc.Size()), 4, 64),
+			DynamicMessages:   true,
+			MsgBufferBytes:    64,
+			MaxIterations:     maxIters,
+			WorkerParallelism: workers,
+		}
+	}
+	newEng := func(g *dos.Graph, dir string, resume bool) *Engine[V, M] {
+		opts := baseOpts(g)
+		opts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1, Resume: resume}
+		eng, err := New[V, M](DOSLayout(g), prog, vc, mc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	// Reference: uninterrupted checkpointed run.
+	refDev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	refEng := newEng(buildDOSOn(t, refDev, edges), t.TempDir(), false)
+	refRes, err := refEng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refVals, err := refEng.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := encodeStates(vc, refVals)
+
+	// Probe: same run on an armed (but fault-free) device to count ops.
+	probe := storage.NewFaultDevice(storage.NullDevice, storage.Options{})
+	gP := buildDOSOn(t, probe.Device, edges)
+	probe.Arm(storage.FaultPlan{})
+	if _, err := newEng(gP, t.TempDir(), false).Run(); err != nil {
+		t.Fatal(err)
+	}
+	totalOps := probe.Ops()
+	if totalOps < 10 {
+		t.Fatalf("probe counted only %d device ops; harness is vacuous", totalOps)
+	}
+
+	rng := seed
+	crashes := 0
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		crashAt := int64(1 + splitmix64(&rng)%uint64(totalOps))
+		dir := t.TempDir()
+		fd := storage.NewFaultDevice(storage.NullDevice, storage.Options{})
+		g := buildDOSOn(t, fd.Device, edges)
+		fd.Arm(storage.FaultPlan{Seed: splitmix64(&rng), CrashAtOp: crashAt, TornWrites: true})
+		_, err := newEng(g, dir, false).Run()
+		if err != nil {
+			if !errors.Is(err, storage.ErrCrashed) {
+				t.Logf("trial %d (crash at op %d): run failed with %v (not ErrCrashed; wrapped errors are fine as long as recovery works)", trial, crashAt, err)
+			}
+			crashes++
+		}
+		// Reboot: same device, crash latch cleared, torn state intact.
+		fd.Disarm()
+		reng := newEng(g, dir, true)
+		res, err := reng.Run()
+		if err != nil {
+			t.Fatalf("trial %d (workers=%d, crash at op %d/%d): recovery failed: %v",
+				trial, workers, crashAt, totalOps, err)
+		}
+		vals, err := reng.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodeStates(vc, vals); !bytes.Equal(got, refBytes) {
+			for i := 0; i < len(refBytes)/vc.Size(); i++ {
+				a := refBytes[i*vc.Size() : (i+1)*vc.Size()]
+				b := got[i*vc.Size() : (i+1)*vc.Size()]
+				if !bytes.Equal(a, b) {
+					t.Fatalf("trial %d (workers=%d, crash at op %d/%d): vertex %d state %x, uninterrupted %x",
+						trial, workers, crashAt, totalOps, i, b, a)
+				}
+			}
+		}
+		if stripDurability(res) != stripDurability(refRes) {
+			t.Fatalf("trial %d (workers=%d, crash at op %d/%d): result %+v, uninterrupted %+v",
+				trial, workers, crashAt, totalOps, res, refRes)
+		}
+	}
+	if crashes == 0 {
+		t.Fatalf("none of %d trials crashed; harness is vacuous", trials)
+	}
+}
+
+func TestCrashRecoveryMinLabelSequential(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 61)
+	crashRecoveryHarness[minVal, uint32](t, edges, minLabel{}, minValCodec{}, graph.Uint32Codec{}, 0, 0, 101)
+}
+
+func TestCrashRecoveryMinLabelParallel(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 62)
+	crashRecoveryHarness[minVal, uint32](t, edges, minLabel{}, minValCodec{}, graph.Uint32Codec{}, 0, 4, 102)
+}
+
+func TestCrashRecoveryPageRankSequential(t *testing.T) {
+	edges := gen.RMAT(8, 2000, gen.NaturalRMAT, 63)
+	crashRecoveryHarness[prVal, float64](t, edges, prProg{}, prCodec{}, f64Codec{}, 5, 0, 103)
+}
+
+func TestCrashRecoveryPageRankParallel(t *testing.T) {
+	edges := gen.RMAT(8, 2000, gen.NaturalRMAT, 64)
+	crashRecoveryHarness[prVal, float64](t, edges, prProg{}, prCodec{}, f64Codec{}, 5, 4, 104)
+}

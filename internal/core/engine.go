@@ -29,6 +29,7 @@ import (
 	"io"
 	"time"
 
+	"graphz/internal/checkpoint"
 	"graphz/internal/graph"
 	"graphz/internal/obs"
 	"graphz/internal/sim"
@@ -121,6 +122,13 @@ type Options struct {
 	// Name prefixes the engine's runtime files on the device; defaults
 	// to "graphz".
 	Name string
+	// Checkpoint enables iteration-boundary checkpoint/restore: with a
+	// non-empty Dir the engine atomically persists vertex states,
+	// pending messages, and counters to the host filesystem after
+	// configured iterations, and Resume (or Run with Checkpoint.Resume)
+	// continues a crashed run from the last complete checkpoint —
+	// byte-identical to an uninterrupted run (docs/DURABILITY.md).
+	Checkpoint CheckpointOptions
 	// Obs receives the engine's runtime metrics: message-routing
 	// counters, per-stage timings, and one IterStats row per iteration.
 	// Nil disables collection entirely — the no-op fast path.
@@ -163,6 +171,12 @@ type Result struct {
 	MessagesSpilled  int64 // messages that crossed the partition boundary to disk
 	SpillErrors      int64 // spill failures observed (first one aborts the run)
 	UpdatesRun       int64
+	// Checkpoints counts the snapshots written this run;
+	// CheckpointBytes and CheckpointTime are their total size and
+	// wall-clock cost. All zero unless Options.Checkpoint is enabled.
+	Checkpoints     int64
+	CheckpointBytes int64
+	CheckpointTime  time.Duration
 	// Stages is wall-clock time per pipeline stage, summed over the
 	// run; populated only when Options.Obs or Options.Trace is set.
 	Stages obs.StageTimes
@@ -197,6 +211,13 @@ type Engine[V, M any] struct {
 	finished  bool
 	runErr    error // first deferred error from message spilling
 	spillErrs int64 // all spill failures, including ones after runErr
+
+	// durability state (Options.Checkpoint)
+	ckStore    *checkpoint.Store
+	layoutHash uint64
+	ckCount    int64
+	ckBytes    int64
+	ckNS       int64
 
 	eo          engineObs
 	stageTotals obs.StageTimes
@@ -309,13 +330,22 @@ func (e *Engine[V, M]) chargeBytes(n int64) {
 }
 
 // Run executes the program to convergence or MaxIterations and leaves the
-// final vertex states in the engine's vertex-state file.
+// final vertex states in the engine's vertex-state file. With
+// Options.Checkpoint.Resume set and a complete checkpoint present in
+// Options.Checkpoint.Dir, Run continues from it instead of starting over
+// (see Resume).
 func (e *Engine[V, M]) Run() (Result, error) {
 	if e.finished {
 		return Result{}, fmt.Errorf("core: engine already ran; create a new one")
 	}
 	if err := e.layout.LoadIndex(); err != nil {
 		return Result{}, err
+	}
+	if err := e.initCheckpointing(); err != nil {
+		return Result{}, err
+	}
+	if e.opts.Checkpoint.Resume && e.ckStore != nil && e.ckStore.HasCheckpoint() {
+		return e.resume()
 	}
 	nParts := e.NumPartitions()
 	e.msgBufs = make([][]byte, nParts)
@@ -327,8 +357,15 @@ func (e *Engine[V, M]) Run() (Result, error) {
 			return Result{}, err
 		}
 	}
+	return e.loop(0)
+}
 
-	iters := 0
+// loop runs iterations starting at startIter (iterations already
+// completed by a restored checkpoint) until convergence or
+// MaxIterations, checkpointing at the configured boundaries.
+func (e *Engine[V, M]) loop(startIter int) (Result, error) {
+	nParts := e.NumPartitions()
+	iters := startIter
 	for {
 		if e.opts.Clock != nil {
 			e.opts.Clock.BeginPhase(fmt.Sprintf("iter%d", iters))
@@ -374,25 +411,48 @@ func (e *Engine[V, M]) Run() (Result, error) {
 			e.eo.reg.RecordIter(*row)
 		}
 		iters++
-		if e.opts.MaxIterations > 0 && iters >= e.opts.MaxIterations {
-			break
-		}
-		// Converged when nothing changed, nothing was sent this
-		// iteration, and nothing was pending from before — or, under
-		// ConvergeOnInactivity, as soon as nothing changed.
-		if !e.active && (e.opts.ConvergeOnInactivity ||
+		// Done on MaxIterations, or converged: nothing changed, nothing
+		// was sent this iteration, and nothing was pending from before —
+		// or, under ConvergeOnInactivity, as soon as nothing changed.
+		done := e.opts.MaxIterations > 0 && iters >= e.opts.MaxIterations
+		if !done && !e.active && (e.opts.ConvergeOnInactivity ||
 			(e.sent == sentBefore && pendingBefore == 0)) {
+			done = true
+		}
+		// Checkpoint at the iteration boundary: on cadence (absolute
+		// iteration count, so a resumed run checkpoints at the same
+		// boundaries as an uninterrupted one) and always at the end, so
+		// a converged run leaves a final restorable snapshot.
+		if e.ckStore != nil && (done || iters%e.opts.Checkpoint.every() == 0) {
+			if err := e.writeCheckpoint(iters, done); err != nil {
+				return Result{}, err
+			}
+		}
+		if done {
 			break
 		}
 	}
 	e.finished = true
-	// Remove the message stores; the vertex states remain for Values.
-	for p := 0; p < nParts; p++ {
-		e.dev.Remove(e.msgFile(p))
-	}
+	e.removeMsgFiles(nParts)
 	if e.eo.on {
 		foldDeviceStats(e.eo.reg, e.dev.Stats())
 	}
+	return e.result(iters, nParts), nil
+}
+
+// removeMsgFiles deletes the message stores after a finished run; the
+// vertex states remain for Values. Removal failures don't fail the run —
+// the results are already durable — but they are counted.
+func (e *Engine[V, M]) removeMsgFiles(nParts int) {
+	for p := 0; p < nParts; p++ {
+		if err := e.dev.Remove(e.msgFile(p)); err != nil {
+			e.eo.removeErrs.Inc()
+		}
+	}
+}
+
+// result assembles the Result from the engine's cumulative counters.
+func (e *Engine[V, M]) result(iters, nParts int) Result {
 	return Result{
 		Iterations:       iters,
 		Partitions:       nParts,
@@ -403,8 +463,11 @@ func (e *Engine[V, M]) Run() (Result, error) {
 		MessagesSpilled:  e.spilled,
 		SpillErrors:      e.spillErrs,
 		UpdatesRun:       e.updates,
+		Checkpoints:      e.ckCount,
+		CheckpointBytes:  e.ckBytes,
+		CheckpointTime:   time.Duration(e.ckNS),
 		Stages:           e.stageTotals,
-	}, nil
+	}
 }
 
 // wrapRunErr returns the first spill error, annotated with how many later
@@ -752,10 +815,17 @@ func (e *Engine[V, M]) ValuesByOldID() (map[graph.VertexID]V, error) {
 	return out, nil
 }
 
-// Cleanup removes the engine's runtime files from the device.
+// Cleanup removes the engine's runtime files from the device. Removal
+// failures are counted (Stats.RemoveErrors, graphz_remove_errors_total)
+// rather than returned: by the time Cleanup runs the results have been
+// read, and a leftover file is an audit concern, not a correctness one.
 func (e *Engine[V, M]) Cleanup() {
-	e.dev.Remove(e.vstateFile())
+	if err := e.dev.Remove(e.vstateFile()); err != nil {
+		e.eo.removeErrs.Inc()
+	}
 	for p := 0; p < e.NumPartitions(); p++ {
-		e.dev.Remove(e.msgFile(p))
+		if err := e.dev.Remove(e.msgFile(p)); err != nil {
+			e.eo.removeErrs.Inc()
+		}
 	}
 }

@@ -46,6 +46,15 @@ type engineObs struct {
 
 	workerHist *obs.Histogram // per-partition worker duration
 	drainHist  *obs.Histogram // per-partition drain duration
+
+	// Durability instruments (Options.Checkpoint; docs/DURABILITY.md).
+	ckpts      *obs.Counter   // checkpoints written
+	ckptBytes  *obs.Counter   // bytes persisted across all checkpoints
+	ckptNS     *obs.Counter   // wall time spent writing checkpoints
+	restores   *obs.Counter   // successful Resume restorations
+	restoreNS  *obs.Counter   // wall time spent restoring
+	removeErrs *obs.Counter   // failed runtime-file removals
+	ckptHist   *obs.Histogram // per-checkpoint write duration
 }
 
 func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
@@ -78,6 +87,14 @@ func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
 
 		workerHist: reg.Histogram("graphz_worker_partition_ns"),
 		drainHist:  reg.Histogram("graphz_drain_partition_ns"),
+
+		ckpts:      reg.Counter("graphz_checkpoint_total"),
+		ckptBytes:  reg.Counter("graphz_checkpoint_bytes_total"),
+		ckptNS:     reg.Counter("graphz_checkpoint_ns_total"),
+		restores:   reg.Counter("graphz_restore_total"),
+		restoreNS:  reg.Counter("graphz_restore_ns_total"),
+		removeErrs: reg.Counter("graphz_remove_errors_total"),
+		ckptHist:   reg.Histogram("graphz_checkpoint_write_ns"),
 	}
 }
 
@@ -179,4 +196,5 @@ func foldDeviceStats(reg *obs.Registry, st storage.Stats) {
 	reg.Gauge("device_write_bytes").Set(st.WriteBytes)
 	reg.Gauge("device_seeks").Set(st.Seeks)
 	reg.Gauge("device_pagecache_hits").Set(st.CacheHits)
+	reg.Gauge("device_remove_errors").Set(st.RemoveErrors)
 }

@@ -80,29 +80,34 @@ type Stats struct {
 	WriteBytes int64
 	Seeks      int64
 	CacheHits  int64 // pages served from the OS page-cache model
+	// RemoveErrors counts Remove calls that failed; callers that ignore
+	// Remove's error still leave an audit trail here.
+	RemoveErrors int64
 }
 
 // Add returns the element-wise sum of s and o.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		ReadOps:    s.ReadOps + o.ReadOps,
-		WriteOps:   s.WriteOps + o.WriteOps,
-		ReadBytes:  s.ReadBytes + o.ReadBytes,
-		WriteBytes: s.WriteBytes + o.WriteBytes,
-		Seeks:      s.Seeks + o.Seeks,
-		CacheHits:  s.CacheHits + o.CacheHits,
+		ReadOps:      s.ReadOps + o.ReadOps,
+		WriteOps:     s.WriteOps + o.WriteOps,
+		ReadBytes:    s.ReadBytes + o.ReadBytes,
+		WriteBytes:   s.WriteBytes + o.WriteBytes,
+		Seeks:        s.Seeks + o.Seeks,
+		CacheHits:    s.CacheHits + o.CacheHits,
+		RemoveErrors: s.RemoveErrors + o.RemoveErrors,
 	}
 }
 
 // Sub returns the element-wise difference of s and o.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		ReadOps:    s.ReadOps - o.ReadOps,
-		WriteOps:   s.WriteOps - o.WriteOps,
-		ReadBytes:  s.ReadBytes - o.ReadBytes,
-		WriteBytes: s.WriteBytes - o.WriteBytes,
-		Seeks:      s.Seeks - o.Seeks,
-		CacheHits:  s.CacheHits - o.CacheHits,
+		ReadOps:      s.ReadOps - o.ReadOps,
+		WriteOps:     s.WriteOps - o.WriteOps,
+		ReadBytes:    s.ReadBytes - o.ReadBytes,
+		WriteBytes:   s.WriteBytes - o.WriteBytes,
+		Seeks:        s.Seeks - o.Seeks,
+		CacheHits:    s.CacheHits - o.CacheHits,
+		RemoveErrors: s.RemoveErrors - o.RemoveErrors,
 	}
 }
 
@@ -112,6 +117,9 @@ func (s Stats) String() string {
 		s.ReadOps, s.ReadBytes, s.WriteOps, s.WriteBytes, s.Seeks)
 	if s.CacheHits > 0 {
 		out += fmt.Sprintf(" cacheHits=%d", s.CacheHits)
+	}
+	if s.RemoveErrors > 0 {
+		out += fmt.Sprintf(" removeErrors=%d", s.RemoveErrors)
 	}
 	return out
 }
@@ -136,6 +144,7 @@ type Device struct {
 	stats Stats
 	used  int64
 	cache *pageCache // nil unless PageCacheBytes > 0
+	inj   *injector  // nil unless constructed via NewFaultDevice
 }
 
 type file struct {
@@ -216,6 +225,9 @@ func (d *Device) Used() int64 {
 func (d *Device) Create(name string) (*File, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if j := d.inj; j != nil && j.crashed {
+		return nil, ErrCrashed
+	}
 	if f, ok := d.files[name]; ok {
 		d.used -= int64(len(f.data))
 		f.data = f.data[:0]
@@ -234,6 +246,9 @@ func (d *Device) Create(name string) (*File, error) {
 func (d *Device) Open(name string) (*File, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if j := d.inj; j != nil && j.crashed {
+		return nil, ErrCrashed
+	}
 	f, ok := d.files[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -250,10 +265,18 @@ func (d *Device) Exists(name string) bool {
 }
 
 // Remove deletes the named file, freeing its capacity. Removing a missing
-// file is not an error.
-func (d *Device) Remove(name string) {
+// file is not an error. Failures (injected faults, a crashed device) are
+// returned AND counted in Stats.RemoveErrors, so callers that discard the
+// error still leave an audit trail.
+func (d *Device) Remove(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if j := d.inj; j != nil {
+		if _, err := j.op(opRemove, 0); err != nil {
+			d.stats.RemoveErrors++
+			return fmt.Errorf("storage: removing %q: %w", name, err)
+		}
+	}
 	if f, ok := d.files[name]; ok {
 		d.used -= int64(len(f.data))
 		delete(d.files, name)
@@ -261,6 +284,7 @@ func (d *Device) Remove(name string) {
 			d.cache.invalidateFile(f)
 		}
 	}
+	return nil
 }
 
 // List returns the names of all files on the device, sorted.
@@ -337,6 +361,24 @@ func (d *Device) chargeWrite(f *file, off, n int64) {
 	}
 }
 
+// writeRaw persists p at off with no charging or fault checks: the
+// torn-prefix path of an injected crash. Growth beyond capacity is
+// dropped (the device is full AND crashed). Caller holds d.mu.
+func (d *Device) writeRaw(f *file, p []byte, off int64) {
+	end := off + int64(len(p))
+	if grow := end - int64(len(f.data)); grow > 0 {
+		if d.capacity > 0 && d.used+grow > d.capacity {
+			return
+		}
+		f.data = append(f.data, make([]byte, grow)...)
+		d.used += grow
+	}
+	copy(f.data[off:end], p)
+	if d.cache != nil {
+		d.cache.span(f, off, int64(len(p)))
+	}
+}
+
 // File is a handle to a device file. Handles are cheap; any number may
 // exist for one file and all share the underlying bytes.
 type File struct {
@@ -363,6 +405,11 @@ func (h *File) ReadAt(p []byte, off int64) (int, error) {
 	}
 	h.dev.mu.Lock()
 	defer h.dev.mu.Unlock()
+	if j := h.dev.inj; j != nil {
+		if _, err := j.op(opRead, len(p)); err != nil {
+			return 0, fmt.Errorf("storage: reading %q: %w", h.f.name, err)
+		}
+	}
 	size := int64(len(h.f.data))
 	if off >= size {
 		return 0, nil
@@ -380,6 +427,17 @@ func (h *File) WriteAt(p []byte, off int64) (int, error) {
 	}
 	h.dev.mu.Lock()
 	defer h.dev.mu.Unlock()
+	if j := h.dev.inj; j != nil {
+		if torn, err := j.op(opWrite, len(p)); err != nil {
+			if torn > 0 {
+				// The crash interrupted the transfer mid-write: a
+				// seeded prefix reaches the media, the rest is lost —
+				// the torn-write case durable formats must detect.
+				h.dev.writeRaw(h.f, p[:torn], off)
+			}
+			return 0, fmt.Errorf("storage: writing %q: %w", h.f.name, err)
+		}
+	}
 	end := off + int64(len(p))
 	if grow := end - int64(len(h.f.data)); grow > 0 {
 		if h.dev.capacity > 0 && h.dev.used+grow > h.dev.capacity {
@@ -416,6 +474,11 @@ func (h *File) Truncate(size int64) error {
 	}
 	h.dev.mu.Lock()
 	defer h.dev.mu.Unlock()
+	if j := h.dev.inj; j != nil {
+		if _, err := j.op(opTrunc, 0); err != nil {
+			return fmt.Errorf("storage: truncating %q: %w", h.f.name, err)
+		}
+	}
 	cur := int64(len(h.f.data))
 	switch {
 	case size < cur:

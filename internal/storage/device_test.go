@@ -187,10 +187,10 @@ func TestDeviceKindsAndProfiles(t *testing.T) {
 }
 
 func TestStatsAddSub(t *testing.T) {
-	a := Stats{ReadOps: 1, WriteOps: 2, ReadBytes: 3, WriteBytes: 4, Seeks: 5, CacheHits: 6}
-	b := Stats{ReadOps: 10, WriteOps: 20, ReadBytes: 30, WriteBytes: 40, Seeks: 50, CacheHits: 60}
+	a := Stats{ReadOps: 1, WriteOps: 2, ReadBytes: 3, WriteBytes: 4, Seeks: 5, CacheHits: 6, RemoveErrors: 7}
+	b := Stats{ReadOps: 10, WriteOps: 20, ReadBytes: 30, WriteBytes: 40, Seeks: 50, CacheHits: 60, RemoveErrors: 70}
 	sum := a.Add(b)
-	if sum != (Stats{11, 22, 33, 44, 55, 66}) {
+	if sum != (Stats{11, 22, 33, 44, 55, 66, 77}) {
 		t.Errorf("Add = %+v", sum)
 	}
 	if diff := sum.Sub(a); diff != b {

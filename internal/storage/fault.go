@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCrashed is returned by every device operation after an injected
+// crash fires: the modeled machine is down, and stays down until the
+// fault plan is disarmed (a "reboot"). Contents written before the crash
+// — including any torn prefix — remain on the device, exactly like a
+// real disk after power loss.
+var ErrCrashed = errors.New("storage: device crashed (injected)")
+
+// ErrInjected is returned for transient injected failures (FailAtOps,
+// FailRemoves). Unlike ErrCrashed it does not latch: the next operation
+// proceeds normally.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultPlan describes a deterministic fault schedule. Operations are
+// counted while the plan is armed, in the order the device serializes
+// them; the same plan against the same (deterministic) workload injects
+// at the same logical point.
+type FaultPlan struct {
+	// Seed drives the torn-write prefix length (splitmix64). Plans with
+	// the same Seed tear writes identically.
+	Seed uint64
+	// CrashAtOp crashes the device on the Nth counted operation
+	// (1-based): that operation fails with ErrCrashed — a crashing
+	// write may first persist a torn prefix when TornWrites is set —
+	// and every subsequent operation fails with ErrCrashed until
+	// Disarm. 0 disables crashing.
+	CrashAtOp int64
+	// TornWrites makes the crashing operation, when it is a write,
+	// persist a seeded prefix of the payload — the torn-write case an
+	// atomic checkpoint protocol must survive.
+	TornWrites bool
+	// FailAtOps lists operation numbers that fail transiently with
+	// ErrInjected (the op itself has no effect; later ops proceed).
+	FailAtOps []int64
+	// FailRemoves makes every Remove fail with ErrInjected, exercising
+	// removal-error surfacing.
+	FailRemoves bool
+}
+
+// opKind classifies counted device operations for the injector.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opTrunc
+	opRemove
+)
+
+// injector holds the fault state of a FaultDevice. All methods are
+// called with the owning Device's mutex held, so no extra locking.
+type injector struct {
+	armed   bool
+	crashed bool
+	plan    FaultPlan
+	ops     int64
+	rng     uint64
+}
+
+// splitmix64 is the same generator internal/gen uses; one step per call.
+func (j *injector) rand() uint64 {
+	j.rng += 0x9e3779b97f4a7c15
+	z := j.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// op counts one device operation and decides its fate. For a crashing
+// write with TornWrites it returns the prefix length to persist before
+// failing.
+func (j *injector) op(k opKind, n int) (torn int, err error) {
+	if j.crashed {
+		return 0, ErrCrashed
+	}
+	if !j.armed {
+		return 0, nil
+	}
+	j.ops++
+	if k == opRemove && j.plan.FailRemoves {
+		return 0, fmt.Errorf("%w: remove at op %d", ErrInjected, j.ops)
+	}
+	for _, f := range j.plan.FailAtOps {
+		if f == j.ops {
+			return 0, fmt.Errorf("%w: op %d", ErrInjected, j.ops)
+		}
+	}
+	if j.plan.CrashAtOp > 0 && j.ops >= j.plan.CrashAtOp {
+		j.crashed = true
+		if k == opWrite && j.plan.TornWrites && n > 0 {
+			torn = int(j.rand() % uint64(n+1))
+		}
+		return torn, ErrCrashed
+	}
+	return 0, nil
+}
+
+// FaultDevice is a Device with a deterministic, seedable fault injector:
+// crash-at-op-N (with optional torn writes), transient write errors, and
+// failing removals. It exists to prove the checkpoint/restore protocol —
+// see docs/DURABILITY.md. The embedded Device is used exactly as a
+// normal one; engines never know they are running on a FaultDevice.
+type FaultDevice struct {
+	*Device
+}
+
+// NewFaultDevice creates a device with an (initially disarmed) injector.
+// Until Arm is called it behaves exactly like NewDevice.
+func NewFaultDevice(kind Kind, opts Options) *FaultDevice {
+	d := NewDevice(kind, opts)
+	d.inj = &injector{}
+	return &FaultDevice{Device: d}
+}
+
+// Arm installs a fault plan and resets the operation counter and crash
+// latch. Operations performed while disarmed are not counted, so a
+// harness can build its graph first and arm just before the run.
+func (fd *FaultDevice) Arm(plan FaultPlan) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	j := fd.inj
+	j.plan = plan
+	j.armed = true
+	j.crashed = false
+	j.ops = 0
+	j.rng = plan.Seed
+}
+
+// Disarm clears the plan and the crash latch — the modeled reboot. File
+// contents (including torn prefixes) survive, as they would on disk.
+func (fd *FaultDevice) Disarm() {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	fd.inj.armed = false
+	fd.inj.crashed = false
+}
+
+// Ops returns the number of operations counted since the last Arm.
+func (fd *FaultDevice) Ops() int64 {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.inj.ops
+}
+
+// Crashed reports whether the crash latch has fired.
+func (fd *FaultDevice) Crashed() bool {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.inj.crashed
+}

@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFaultDeviceUnarmedIsTransparent(t *testing.T) {
+	fd := NewFaultDevice(NullDevice, Options{})
+	f, err := fd.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+	if fd.Ops() != 0 {
+		t.Fatalf("unarmed device counted %d ops", fd.Ops())
+	}
+}
+
+func TestCrashAtOpLatches(t *testing.T) {
+	fd := NewFaultDevice(NullDevice, Options{})
+	f, err := fd.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.Arm(FaultPlan{CrashAtOp: 3})
+	if _, err := f.WriteAt([]byte("one"), 0); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 3); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 6); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op 3 = %v, want ErrCrashed", err)
+	}
+	if !fd.Crashed() {
+		t.Fatal("crash latch should have fired")
+	}
+	// Every subsequent operation fails, including opening files.
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash = %v, want ErrCrashed", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("truncate after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := fd.Open("a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := fd.Create("b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create after crash = %v, want ErrCrashed", err)
+	}
+	if err := fd.Remove("a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove after crash = %v, want ErrCrashed", err)
+	}
+	// Pre-crash contents survived the "power loss".
+	fd.Disarm()
+	g, err := fd.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "onetwo" {
+		t.Fatalf("after reboot file = %q, want %q", buf, "onetwo")
+	}
+}
+
+func TestTornWriteDeterministicBySeed(t *testing.T) {
+	tear := func(seed uint64) []byte {
+		fd := NewFaultDevice(NullDevice, Options{})
+		f, err := fd.Create("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd.Arm(FaultPlan{Seed: seed, CrashAtOp: 1, TornWrites: true})
+		payload := bytes.Repeat([]byte("0123456789abcdef"), 16)
+		if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("torn write = %v, want ErrCrashed", err)
+		}
+		fd.Disarm()
+		data, rerr := ReadAllFile(fd.Device, "a")
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if !bytes.HasPrefix(payload, data) {
+			t.Fatalf("torn content %q is not a prefix of the payload", data)
+		}
+		return data
+	}
+	a1, a2 := tear(7), tear(7)
+	if !bytes.Equal(a1, a2) {
+		t.Fatalf("same seed tore differently: %d vs %d bytes", len(a1), len(a2))
+	}
+	// Different seeds should (for this pair) tear differently; if a
+	// seed pair ever collides, pick another — determinism per seed is
+	// the property under test.
+	if b := tear(8); bytes.Equal(a1, b) && len(a1) != 0 {
+		t.Logf("seeds 7 and 8 tore identically (%d bytes); coincidence, not failure", len(a1))
+	}
+}
+
+func TestFailAtOpsIsTransient(t *testing.T) {
+	fd := NewFaultDevice(NullDevice, Options{})
+	f, err := fd.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.Arm(FaultPlan{FailAtOps: []int64{2}})
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("y"), 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 = %v, want ErrInjected", err)
+	}
+	if fd.Crashed() {
+		t.Fatal("transient fault must not latch the crash flag")
+	}
+	if _, err := f.WriteAt([]byte("z"), 1); err != nil {
+		t.Fatalf("op 3 after transient fault: %v", err)
+	}
+	if fd.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", fd.Ops())
+	}
+}
+
+func TestFailRemovesRecordedInStats(t *testing.T) {
+	fd := NewFaultDevice(NullDevice, Options{})
+	if _, err := fd.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	fd.Arm(FaultPlan{FailRemoves: true})
+	if err := fd.Remove("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Remove = %v, want ErrInjected", err)
+	}
+	if !fd.Exists("a") {
+		t.Fatal("failed Remove must not delete the file")
+	}
+	if got := fd.Stats().RemoveErrors; got != 1 {
+		t.Fatalf("Stats.RemoveErrors = %d, want 1", got)
+	}
+	fd.Disarm()
+	if err := fd.Remove("a"); err != nil {
+		t.Fatalf("Remove after disarm: %v", err)
+	}
+	if fd.Exists("a") {
+		t.Fatal("file should be gone")
+	}
+}
+
+func TestRemoveMissingIsNotAnError(t *testing.T) {
+	dev := NewDevice(NullDevice, Options{})
+	if err := dev.Remove("never-created"); err != nil {
+		t.Fatalf("Remove missing = %v, want nil", err)
+	}
+	if dev.Stats().RemoveErrors != 0 {
+		t.Fatal("missing-file removal must not count as an error")
+	}
+}
