@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench smoke
+.PHONY: build test check fmt vet race bench bench-json benchdiff cover smoke
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,27 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/checkpoint/... ./internal/storage/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/checkpoint/... ./internal/storage/... ./internal/bench/...
 
 bench:
 	$(GO) test -bench BenchmarkEngine -benchmem -run '^$$' ./internal/core/
+
+# bench-json records the engine benchmarks as a JSON snapshot for the
+# CI regression gate; benchdiff compares it to the committed baseline.
+bench-json:
+	$(GO) test -bench BenchmarkEngine -benchmem -run '^$$' ./internal/core/ \
+		| $(GO) run ./cmd/graphz-benchdiff -record -out BENCH_core.json
+
+benchdiff: bench-json
+	$(GO) run ./cmd/graphz-benchdiff -baseline ci/bench-baseline.json -current BENCH_core.json -threshold 0.15
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # smoke runs the randomized crash-recovery property tests: engines killed
 # at random device operations must resume to byte-identical results.
 smoke:
 	$(GO) test -run 'TestCrashRecovery' -count=1 -v ./internal/core/
 
-check: fmt vet race
+check: fmt vet race test

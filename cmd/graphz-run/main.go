@@ -49,6 +49,7 @@ func main() {
 		pdrain  = flag.Bool("parallel-drain", false, "graphz: apply pending messages with the mutex-pool worker pool")
 		workers = flag.Int("workers", 1, "graphz: Worker-stage goroutines (deterministic chunked speculation; 1 = sequential)")
 		cache   = flag.Bool("cache-adjacency", false, "graphz: keep adjacency resident when it fits the budget")
+		sel     = flag.Bool("selective", false, "graphz: skip adjacency blocks with no active vertex and no pending message (selective block scheduling; see DESIGN.md §9)")
 		top     = flag.Int("top", 5, "print the top-N result vertices")
 		maddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this address while the run is live (e.g. :8080, or :0 for a free port)")
 		traceTo = flag.String("trace", "", "write one JSONL span per (iteration, partition, stage) to this file")
@@ -160,7 +161,7 @@ func main() {
 				}
 			}
 		}
-		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *workers, ck)
+		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *sel, *workers, ck)
 	case "graphchi":
 		iterations, values, err = runGraphChi(dev, clock, reg, tracer, *algo, *budget, *iters, src)
 	case "xstream":
@@ -220,7 +221,7 @@ func importDOS(dev *storage.Device, prefix string) error {
 
 // runGraphZ preprocesses to DOS (or loads a pre-converted graph) and runs
 // the algorithm, returning values keyed by original IDs.
-func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj bool, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
+func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj, selective bool, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
 	var g *dos.Graph
 	var err error
 	if preconverted {
@@ -242,7 +243,8 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer 
 	opts := core.Options{
 		MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
 		ParallelDrain: pdrain, CacheAdjacency: cacheAdj, WorkerParallelism: workers,
-		Obs: reg, Trace: tracer, Checkpoint: ck,
+		SelectiveScheduling: selective,
+		Obs:                 reg, Trace: tracer, Checkpoint: ck,
 	}
 	if ck.Dir != "" {
 		// Bind checkpoints to the algorithm: resuming a "pr" checkpoint
@@ -313,6 +315,10 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer 
 	if ck.Dir != "" {
 		fmt.Printf("checkpoint: %d written (%d B, %v) -> %s\n",
 			res.Checkpoints, res.CheckpointBytes, res.CheckpointTime, ck.Dir)
+	}
+	if selective {
+		fmt.Printf("selective: %d blocks scanned, %d skipped\n",
+			res.BlocksScanned, res.BlocksSkipped)
 	}
 	out := make(map[graph.VertexID]float64, len(vals))
 	for newID, val := range vals {

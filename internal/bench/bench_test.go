@@ -238,3 +238,24 @@ func TestRunCheckpointedMatchesPlain(t *testing.T) {
 		t.Fatalf("overhead table malformed:\n%s", table)
 	}
 }
+
+func TestRunSelectiveScheduling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the harness end to end")
+	}
+	base := Run(RunConfig{Scale: Small, Algo: BFS, Engine: GraphZ, Kind: storage.SSD, Budget: Mem8})
+	sel := Run(RunConfig{Scale: Small, Algo: BFS, Engine: GraphZ, Kind: storage.SSD, Budget: Mem8, Selective: true})
+	if base.Failed() || sel.Failed() {
+		t.Fatalf("runs failed: %v / %v", base.Err, sel.Err)
+	}
+	if base.BlocksScanned != 0 || base.BlocksSkipped != 0 {
+		t.Fatalf("full-streaming run reported block scheduling: %+v", base)
+	}
+	if sel.BlocksScanned == 0 {
+		t.Fatalf("selective run reported no scanned blocks: %+v", sel)
+	}
+	table := TableSelectiveScheduling(Small, storage.SSD, Mem8)
+	if !strings.Contains(table, "Selective block scheduling") || !strings.Contains(table, "BFS") {
+		t.Fatalf("selective table malformed:\n%s", table)
+	}
+}

@@ -78,6 +78,13 @@ type RunConfig struct {
 	// engine state — so it isolates the durability overhead the
 	// checkpoint table reports. Part of the memo key.
 	CheckpointEvery int
+	// Selective enables GraphZ selective block scheduling
+	// (core.Options.SelectiveScheduling): adjacency blocks with no
+	// active vertex and no pending message are skipped. Final states are
+	// byte-identical for the frontier-safe benchmarks; the saved IO
+	// shows up in Runtime/IO and the BlocksSkipped column. Part of the
+	// memo key.
+	Selective bool
 }
 
 // Outcome is everything the tables and figures report about one run.
@@ -104,6 +111,9 @@ type Outcome struct {
 	Checkpoints     int64
 	CheckpointBytes int64
 	CheckpointTime  time.Duration
+	// Selective-scheduling accounting (GraphZ engines with Selective).
+	BlocksScanned int64
+	BlocksSkipped int64
 }
 
 // Failed reports whether the run could not execute (index too large,
@@ -248,11 +258,12 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 	}
 	out.IndexBytes = layout.IndexBytes()
 	opts := core.Options{
-		MemoryBudget:      cfg.Budget,
-		Clock:             clock,
-		DynamicMessages:   cfg.Engine != GraphZNoDOSNoDM,
-		WorkerParallelism: cfg.Workers,
-		Obs:               reg,
+		MemoryBudget:        cfg.Budget,
+		Clock:               clock,
+		DynamicMessages:     cfg.Engine != GraphZNoDOSNoDM,
+		WorkerParallelism:   cfg.Workers,
+		SelectiveScheduling: cfg.Selective,
+		Obs:                 reg,
 	}
 	if cfg.CheckpointEvery > 0 {
 		ckdir, err := os.MkdirTemp("", "graphz-bench-ckpt-")
@@ -300,6 +311,8 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 	out.Checkpoints = res.Checkpoints
 	out.CheckpointBytes = res.CheckpointBytes
 	out.CheckpointTime = res.CheckpointTime
+	out.BlocksScanned = res.BlocksScanned
+	out.BlocksSkipped = res.BlocksSkipped
 	return nil
 }
 

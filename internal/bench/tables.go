@@ -507,3 +507,32 @@ func TableCheckpointOverhead(s Scale, kind storage.Kind, budget int64) string {
 		fmt.Sprintf("Checkpoint overhead: %s graph (%s, checkpoint every iteration)", s.Name, kind),
 		header, rows)
 }
+
+// TableSelectiveScheduling quantifies selective block scheduling: every
+// benchmark on the GraphZ engine full-streaming versus selective, the
+// modeled-runtime change, and the block-level skip counts. Not a paper
+// table — it documents the GraphMP-style optimization of DESIGN.md §9.
+// Converging frontier algorithms (BFS, SSSP, CC) skip heavily in their
+// tails; always-active benchmarks (PR, BP, RW) never skip and should
+// show ~0 overhead.
+func TableSelectiveScheduling(s Scale, kind storage.Kind, budget int64) string {
+	header := []string{"benchmark", "full", "selective", "speedup", "scanned", "skipped"}
+	var rows [][]string
+	for _, a := range Algos {
+		base := Run(RunConfig{Scale: s, Algo: a, Engine: GraphZ, Kind: kind, Budget: budget})
+		sel := Run(RunConfig{Scale: s, Algo: a, Engine: GraphZ, Kind: kind, Budget: budget, Selective: true})
+		row := []string{string(a), outcomeCell(base), outcomeCell(sel)}
+		if base.Failed() || sel.Failed() || sel.Runtime <= 0 {
+			row = append(row, "-", "-", "-")
+		} else {
+			row = append(row,
+				fmt.Sprintf("%.2fx", float64(base.Runtime)/float64(sel.Runtime)),
+				fmt.Sprint(sel.BlocksScanned),
+				fmt.Sprint(sel.BlocksSkipped))
+		}
+		rows = append(rows, row)
+	}
+	return FormatTable(
+		fmt.Sprintf("Selective block scheduling: %s graph (%s)", s.Name, kind),
+		header, rows)
+}

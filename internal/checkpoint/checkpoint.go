@@ -77,6 +77,11 @@ type Counters struct {
 	Buffered int64 `json:"buffered"`
 	Spilled  int64 `json:"spilled"`
 	Updates  int64 `json:"updates"`
+	// Selective block-scheduling totals; omitted (and zero on decode)
+	// for checkpoints from runs without it, keeping old manifests
+	// byte-identical.
+	BlocksScanned int64 `json:"blocks_scanned,omitempty"`
+	BlocksSkipped int64 `json:"blocks_skipped,omitempty"`
 }
 
 // Section describes one data file of a checkpoint.
@@ -305,6 +310,18 @@ func parseManifest(raw []byte) (Manifest, error) {
 type Checkpoint struct {
 	dir      string
 	Manifest Manifest
+}
+
+// HasSection reports whether the manifest declares a section by name —
+// the forward-compatibility probe for sections newer engines write
+// optionally (e.g. the selective scheduler's bitmap).
+func (c *Checkpoint) HasSection(name string) bool {
+	for i := range c.Manifest.Sections {
+		if c.Manifest.Sections[i].Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Section reads one section's bytes, verifying size and CRC against the

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/obs"
+)
+
+// Tests for selective block scheduling: the activeSet bitmap primitives,
+// the planSelective block-granular scheduler, the end-to-end property
+// that selective runs reproduce full-streaming state bytes exactly, and
+// the BFS-tail IO-reduction claim the feature exists for.
+
+func TestActiveSetPrimitives(t *testing.T) {
+	s := newEmptyActiveSet(0, 200)
+	if s.count != 0 || s.anyInRange(0, 200) {
+		t.Fatal("empty set reports activity")
+	}
+	// Set bits straddling word boundaries; set is idempotent.
+	for _, v := range []graph.VertexID{0, 63, 64, 127, 128, 199, 63} {
+		s.set(v)
+	}
+	if s.count != 6 {
+		t.Errorf("count = %d, want 6", s.count)
+	}
+	if !s.get(63) || !s.get(64) || s.get(65) {
+		t.Error("get misreads word-boundary bits")
+	}
+	if got := s.countRange(63, 65); got != 2 {
+		t.Errorf("countRange(63, 65) = %d, want 2", got)
+	}
+	if got := s.countRange(0, 200); got != 6 {
+		t.Errorf("countRange(0, 200) = %d, want 6", got)
+	}
+	if s.anyInRange(65, 127) {
+		t.Error("anyInRange true over an all-zero interior range")
+	}
+	if !s.anyInRange(199, 200) || !s.anyInRange(0, 1) {
+		t.Error("anyInRange misses single-bit edges")
+	}
+	if s.countRange(10, 10) != 0 || s.anyInRange(10, 10) {
+		t.Error("empty range should count zero")
+	}
+	// clear is idempotent too and maintains the count.
+	s.clear(63)
+	s.clear(63)
+	if s.count != 5 || s.get(63) {
+		t.Errorf("after clear: count = %d, get(63) = %v", s.count, s.get(63))
+	}
+
+	// newActiveSet starts all-ones, including a partial tail word.
+	full := newActiveSet(70)
+	if full.count != 70 || full.countRange(0, 70) != 70 {
+		t.Errorf("all-ones set count = %d / range %d, want 70", full.count, full.countRange(0, 70))
+	}
+
+	// An overlay based off zero behaves like the parallel Worker's
+	// chunk-private sets.
+	ov := newEmptyActiveSet(100, 20)
+	ov.set(105)
+	ov.set(119)
+	if ov.count != 2 || !ov.get(105) || ov.get(100) {
+		t.Error("based overlay misaddresses bits")
+	}
+	dst := newActiveSet(200)
+	dst.copyFrom(ov, 100, 120)
+	if dst.countRange(100, 120) != 2 || !dst.get(119) || dst.get(110) {
+		t.Error("copyFrom did not install the overlay bits")
+	}
+	if dst.countRange(0, 100) != 100 || dst.countRange(120, 200) != 80 {
+		t.Error("copyFrom touched bits outside [lo, hi)")
+	}
+}
+
+func TestActiveSetMarshalRoundTrip(t *testing.T) {
+	s := newEmptyActiveSet(0, 130)
+	for _, v := range []graph.VertexID{0, 1, 64, 100, 129} {
+		s.set(v)
+	}
+	data := s.marshal()
+	got, err := unmarshalActiveSet(data, 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.count != s.count || !bytes.Equal(got.marshal(), data) {
+		t.Errorf("round trip lost bits: count %d vs %d", got.count, s.count)
+	}
+	for _, v := range []graph.VertexID{0, 1, 64, 100, 129, 2, 63, 128} {
+		if got.get(v) != s.get(v) {
+			t.Errorf("bit %d = %v after round trip, want %v", v, got.get(v), s.get(v))
+		}
+	}
+	if _, err := unmarshalActiveSet(data[:8], 130); err == nil {
+		t.Error("short section should fail to unmarshal")
+	}
+	if _, err := unmarshalActiveSet(data, 7000); err == nil {
+		t.Error("vertex-count mismatch should fail to unmarshal")
+	}
+}
+
+func TestPlanSelectiveTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		lo        graph.VertexID
+		start     int64
+		degs      []uint32
+		active    []graph.VertexID
+		epb       int64
+		threshold float64
+
+		streamAll   bool
+		blocksTotal int64
+		blocksRead  int64
+		runs        []selRun
+	}{
+		{
+			// No set bits: every block is skipped, nothing is scheduled.
+			name: "empty bitmap", degs: []uint32{3, 2, 3}, epb: 4, threshold: 0.25,
+			blocksTotal: 2, blocksRead: 0, runs: nil,
+		},
+		{
+			// Density at/above the threshold falls back to full streaming.
+			name: "dense partition streams fully", degs: []uint32{2, 2, 2, 2},
+			active: []graph.VertexID{0, 2}, epb: 4, threshold: 0.25,
+			streamAll: true, blocksTotal: 2, blocksRead: 2,
+			runs: []selRun{{lo: 0, hi: 4, startOff: 0, endOff: 8}},
+		},
+		{
+			// One active vertex whose entries fill exactly one block: only
+			// that block is read.
+			name: "single active vertex below threshold", degs: []uint32{4, 4, 4, 4},
+			active: []graph.VertexID{2}, epb: 4, threshold: 0.5,
+			blocksTotal: 4, blocksRead: 1,
+			runs: []selRun{{lo: 2, hi: 3, startOff: 8, endOff: 12}},
+		},
+		{
+			// The active vertex's entry span straddles a block boundary:
+			// both blocks are read, and the vertices sharing them are
+			// scheduled (their updates are no-ops for frontier-safe
+			// programs).
+			name: "active span straddles block boundary", degs: []uint32{2, 4, 2},
+			active: []graph.VertexID{1}, epb: 4, threshold: 0.5,
+			blocksTotal: 2, blocksRead: 2,
+			runs: []selRun{{lo: 0, hi: 3, startOff: 0, endOff: 8}},
+		},
+		{
+			// A bit set only by message delivery (pending-message block):
+			// the block holding the destination's entries is scheduled,
+			// nothing else.
+			name: "pending-message-only block", degs: []uint32{1, 1, 1, 1, 1, 1, 1, 1},
+			active: []graph.VertexID{5}, epb: 2, threshold: 0.25,
+			blocksTotal: 4, blocksRead: 1,
+			runs: []selRun{{lo: 4, hi: 6, startOff: 4, endOff: 6}},
+		},
+		{
+			// An active zero-degree vertex is still scheduled (its update
+			// may send), but reads no blocks.
+			name: "zero-degree active vertex", degs: []uint32{2, 0, 2},
+			active: []graph.VertexID{1}, epb: 4, threshold: 0.5,
+			blocksTotal: 1, blocksRead: 0,
+			runs: []selRun{{lo: 1, hi: 2, startOff: 2, endOff: 2}},
+		},
+		{
+			// Two separated frontiers yield two runs and two block reads.
+			name: "two separated frontiers", degs: []uint32{4, 4, 4, 4, 4, 4},
+			active: []graph.VertexID{0, 5}, epb: 4, threshold: 0.5,
+			blocksTotal: 6, blocksRead: 2,
+			runs: []selRun{
+				{lo: 0, hi: 1, startOff: 0, endOff: 4},
+				{lo: 5, hi: 6, startOff: 20, endOff: 24},
+			},
+		},
+		{
+			// Non-zero partition base and entry offset: runs carry absolute
+			// vertex IDs and absolute entry offsets.
+			name: "nonzero base and start", lo: 100, start: 1000, degs: []uint32{4, 4},
+			active: []graph.VertexID{101}, epb: 4, threshold: 0.6,
+			blocksTotal: 2, blocksRead: 1,
+			runs: []selRun{{lo: 101, hi: 102, startOff: 1004, endOff: 1008}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			as := newEmptyActiveSet(0, int(tc.lo)+len(tc.degs))
+			for _, v := range tc.active {
+				as.set(v)
+			}
+			hi := tc.lo + graph.VertexID(len(tc.degs))
+			sched := planSelective(as, tc.lo, hi, tc.start, tc.degs, tc.epb, tc.threshold)
+			if sched.streamAll != tc.streamAll {
+				t.Errorf("streamAll = %v, want %v", sched.streamAll, tc.streamAll)
+			}
+			if sched.blocksTotal != tc.blocksTotal {
+				t.Errorf("blocksTotal = %d, want %d", sched.blocksTotal, tc.blocksTotal)
+			}
+			if sched.blocksRead != tc.blocksRead {
+				t.Errorf("blocksRead = %d, want %d", sched.blocksRead, tc.blocksRead)
+			}
+			if sched.activeCount != int64(len(tc.active)) {
+				t.Errorf("activeCount = %d, want %d", sched.activeCount, len(tc.active))
+			}
+			if len(sched.runs) != len(tc.runs) {
+				t.Fatalf("runs = %+v, want %+v", sched.runs, tc.runs)
+			}
+			for i, r := range sched.runs {
+				if r != tc.runs[i] {
+					t.Errorf("run %d = %+v, want %+v", i, r, tc.runs[i])
+				}
+			}
+		})
+	}
+}
+
+// selectiveVariants are option mutations that must each reproduce the
+// full-streaming run's final state bytes. Results are deliberately NOT
+// compared: a post-plan in-partition send can defer a vertex's update by
+// one iteration under selective scheduling, so iteration and update
+// counts may legally differ — the fixpoint may not.
+var selectiveVariants = []struct {
+	name string
+	mut  func(*Options)
+}{
+	{"sequential", func(o *Options) {}},
+	{"workers4", func(o *Options) { o.WorkerParallelism = 4 }},
+	// A threshold above 1.0 can never be reached: every partition takes
+	// the sparse run-scheduled path instead of the streamAll fallback.
+	{"forcedSparse", func(o *Options) { o.SelectiveDensity = 2 }},
+}
+
+func TestSelectiveMatchesFullStreamingMinLabel(t *testing.T) {
+	edges := gen.RMAT(9, 4000, gen.NaturalRMAT, 41)
+	g := buildDOS(t, edges)
+	base := Options{
+		MemoryBudget:    budgetForPartitions(g, 8, 4, 64),
+		DynamicMessages: true,
+		MsgBufferBytes:  64,
+	}
+	fullRes, want := runProg[minVal, uint32](t, g, minLabel{}, minValCodec{}, graph.Uint32Codec{}, base)
+	if fullRes.BlocksScanned != 0 || fullRes.BlocksSkipped != 0 {
+		t.Fatalf("full-streaming run reported block scheduling: %+v", fullRes)
+	}
+	variants := append(selectiveVariants[:len(selectiveVariants):len(selectiveVariants)],
+		struct {
+			name string
+			mut  func(*Options)
+		}{"parallelDrain", func(o *Options) { o.ParallelDrain = true }})
+	for _, v := range variants {
+		opts := base
+		opts.SelectiveScheduling = true
+		v.mut(&opts)
+		res, got := runProg[minVal, uint32](t, g, minLabel{}, minValCodec{}, graph.Uint32Codec{}, opts)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: selective fixpoint bytes differ from full streaming", v.name)
+		}
+		if res.BlocksScanned == 0 {
+			t.Errorf("%s: selective run scanned no blocks: %+v", v.name, res)
+		}
+	}
+}
+
+func TestSelectiveMatchesFullStreamingPageRank(t *testing.T) {
+	// prProg marks every vertex active every iteration, so selective
+	// scheduling must degenerate to the exact full-streaming execution;
+	// float accumulation order makes byte equality a strict order check.
+	edges := gen.RMAT(9, 5000, gen.NaturalRMAT, 42)
+	g := buildDOS(t, edges)
+	base := Options{
+		MemoryBudget:    budgetForPartitions(g, 16, 4, 128),
+		DynamicMessages: true,
+		MsgBufferBytes:  128,
+		MaxIterations:   5,
+	}
+	_, want := runProg[prVal, float64](t, g, prProg{}, prCodec{}, f64Codec{}, base)
+	for _, v := range selectiveVariants {
+		opts := base
+		opts.SelectiveScheduling = true
+		v.mut(&opts)
+		_, got := runProg[prVal, float64](t, g, prProg{}, prCodec{}, f64Codec{}, opts)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: selective PageRank bytes differ from full streaming", v.name)
+		}
+	}
+}
+
+func TestSelectiveMatchesFullStreamingStaticMessages(t *testing.T) {
+	// mixProg's non-commutative Apply over buffered static messages
+	// detects any drain-order perturbation the bitmap bookkeeping might
+	// introduce.
+	edges := gen.RMAT(9, 4000, gen.NaturalRMAT, 43)
+	g := buildDOS(t, edges)
+	base := Options{
+		MemoryBudget:   budgetForPartitions(g, 4, 3, 64),
+		MsgBufferBytes: 64,
+		MaxIterations:  4,
+	}
+	_, want := runProg[mixVal, uint32](t, g, mixProg{rounds: 4}, mixCodec{}, graph.Uint32Codec{}, base)
+	for _, v := range selectiveVariants {
+		opts := base
+		opts.SelectiveScheduling = true
+		v.mut(&opts)
+		_, got := runProg[mixVal, uint32](t, g, mixProg{rounds: 4}, mixCodec{}, graph.Uint32Codec{}, opts)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: selective static-message bytes differ from full streaming", v.name)
+		}
+	}
+}
+
+// slowChainEdges builds a graph whose min-label run has a long sparse
+// tail. Old IDs: source S=0, chain C_1..C_k = 1..k, sink T=k+1. S points
+// at C_1 and each C_i at C_{i+1} (C_k at T); dummy edges to T give S
+// degree k+2 and C_i degree i+1, so DOS (degree-descending) relabels
+// S->0, C_k->1, ..., C_1->k, T->k+1 and every chain edge points one ID
+// backward. A backward message never takes effect in the iteration it is
+// sent, so the frontier advances exactly one vertex per iteration: ~k
+// tail iterations each touching one chain vertex plus the sink.
+func slowChainEdges(k int) []graph.Edge {
+	sink := graph.VertexID(k + 1)
+	var edges []graph.Edge
+	edges = append(edges, graph.Edge{Src: 0, Dst: 1})
+	for j := 0; j < k+1; j++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: sink})
+	}
+	for i := 1; i <= k; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)})
+		for j := 0; j < i; j++ {
+			edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: sink})
+		}
+	}
+	return edges
+}
+
+func TestSelectiveBFSTailBlockReduction(t *testing.T) {
+	const k = 300
+	edges := slowChainEdges(k)
+	g := buildDOS(t, edges)
+	base := Options{
+		MemoryBudget:    budgetForPartitions(g, 8, 6, 64),
+		DynamicMessages: true,
+		MsgBufferBytes:  64,
+	}
+
+	fullReg := obs.NewRegistry()
+	fullOpts := base
+	fullOpts.Obs = fullReg
+	fullRes, fullVals := runMinLabel(t, g, fullOpts)
+
+	selReg := obs.NewRegistry()
+	selOpts := base
+	selOpts.Obs = selReg
+	selOpts.SelectiveScheduling = true
+	selRes, selVals := runMinLabel(t, g, selOpts)
+
+	// Both runs reach the same (correct) fixpoint.
+	want := referenceMinLabels(g.NumVertices, relabeledEdges(t, g, edges))
+	for i := range want {
+		if fullVals[i].label != want[i] || selVals[i].label != want[i] {
+			t.Fatalf("vertex %d: full %d, selective %d, want %d",
+				i, fullVals[i].label, selVals[i].label, want[i])
+		}
+	}
+
+	// The run must actually have the intended shape: several partitions
+	// and a one-hop-per-iteration tail, or the comparison is vacuous.
+	if fullRes.Partitions < 5 {
+		t.Fatalf("partitions = %d; budget did not split the chain", fullRes.Partitions)
+	}
+	if fullRes.Iterations <= k {
+		t.Fatalf("iterations = %d; chain did not produce a long tail", fullRes.Iterations)
+	}
+
+	fullBlocks := fullReg.CounterValue("graphz_sio_blocks_total")
+	selBlocks := selReg.CounterValue("graphz_sio_blocks_total")
+	t.Logf("partitions=%d iters full=%d sel=%d; blocks full=%d sel=%d skipped=%d",
+		fullRes.Partitions, fullRes.Iterations, selRes.Iterations,
+		fullBlocks, selBlocks, selRes.BlocksSkipped)
+	if fullBlocks == 0 {
+		t.Fatal("full run prefetched no blocks")
+	}
+	if selBlocks*2 > fullBlocks {
+		t.Errorf("selective read %d blocks vs %d full: less than the 2x reduction the tail guarantees",
+			selBlocks, fullBlocks)
+	}
+	if skipped := selReg.CounterValue("graphz_blocks_skipped_total"); skipped == 0 {
+		t.Error("graphz_blocks_skipped_total = 0 on a sparse-tail run")
+	}
+	if selReg.CounterValue("graphz_partitions_skipped_total") == 0 {
+		t.Error("no whole-partition skips on a sparse-tail run")
+	}
+	if selRes.BlocksSkipped == 0 || selRes.BlocksSkipped != selReg.CounterValue("graphz_blocks_skipped_total") {
+		t.Errorf("Result.BlocksSkipped = %d, registry %d",
+			selRes.BlocksSkipped, selReg.CounterValue("graphz_blocks_skipped_total"))
+	}
+	if fullReg.CounterValue("graphz_blocks_scanned_total") != 0 {
+		t.Error("full-streaming run incremented selective counters")
+	}
+}
+
+func TestEmulationForcesSelectiveOff(t *testing.T) {
+	// The Section IV-E emulation re-sends every edge every round whether
+	// or not the source received anything; under selective scheduling a
+	// vertex with no in-edges would never be rescheduled and its
+	// neighbors' gathered in-edge lists would starve. EmulateGraphChi
+	// must therefore ignore the option.
+	edges := gen.RMAT(7, 600, gen.NaturalRMAT, 44)
+	g := buildDOS(t, edges)
+	inDeg, err := InDegrees(DOSLayout(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := EmulateGraphChi[uint32, uint32](DOSLayout(g), chiMinProgram{},
+		graph.Uint32Codec{}, graph.Uint32Codec{}, inDeg, Options{
+			MemoryBudget:        256 << 20,
+			DynamicMessages:     true,
+			SelectiveScheduling: true,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksScanned != 0 || res.BlocksSkipped != 0 {
+		t.Errorf("emulation ran with selective scheduling enabled: %+v", res)
+	}
+}

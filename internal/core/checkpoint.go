@@ -90,14 +90,20 @@ func (e *Engine[V, M]) computeLayoutHash() uint64 {
 // checkpointCounters snapshots the cumulative counters for the manifest.
 func (e *Engine[V, M]) checkpointCounters() checkpoint.Counters {
 	return checkpoint.Counters{
-		Sent:     e.sent,
-		Applied:  e.applied,
-		Inline:   e.inline,
-		Buffered: e.bufferedN,
-		Spilled:  e.spilled,
-		Updates:  e.updates,
+		Sent:          e.sent,
+		Applied:       e.applied,
+		Inline:        e.inline,
+		Buffered:      e.bufferedN,
+		Spilled:       e.spilled,
+		Updates:       e.updates,
+		BlocksScanned: e.blocksScanned,
+		BlocksSkipped: e.blocksSkipped,
 	}
 }
+
+// activeSectionName is the checkpoint section holding the selective
+// scheduler's bitmap; written only when selective scheduling is on.
+const activeSectionName = "activeset"
 
 // msgSectionName names the checkpoint section holding partition p's
 // spilled-message file; tailSectionName holds its in-memory buffer.
@@ -117,8 +123,13 @@ func (e *Engine[V, M]) writeCheckpoint(iters int, done bool) error {
 	if err != nil {
 		return fmt.Errorf("core: checkpoint at iteration %d: reading vertex states: %w", iters, err)
 	}
-	secs := make([]checkpoint.SectionData, 0, 1+2*len(e.msgBufs))
+	secs := make([]checkpoint.SectionData, 0, 2+2*len(e.msgBufs))
 	secs = append(secs, checkpoint.SectionData{Name: "vstate", Data: vstate})
+	if e.sel != nil {
+		// The bitmap makes the resumed run's block schedule — and so its
+		// operation sequence — identical to the uninterrupted run's.
+		secs = append(secs, checkpoint.SectionData{Name: activeSectionName, Data: e.sel.marshal()})
+	}
 	for p := range e.msgBufs {
 		data, err := storage.ReadAllFile(e.dev, e.msgFile(p))
 		if err != nil {
@@ -266,12 +277,30 @@ func (e *Engine[V, M]) resume() (Result, error) {
 		}
 		restored += int64(len(data) + len(tail))
 	}
+	if e.sel != nil {
+		if ck.HasSection(activeSectionName) {
+			data, err := ck.Section(activeSectionName)
+			if err != nil {
+				return Result{}, err
+			}
+			as, err := unmarshalActiveSet(data, e.layout.NumVertices())
+			if err != nil {
+				return Result{}, fmt.Errorf("%w: %v", checkpoint.ErrTruncated, err)
+			}
+			e.sel = as
+		}
+		// A checkpoint from a non-selective run has no bitmap; the
+		// all-ones set New built stands — a conservative full rescan,
+		// never a wrongly skipped vertex.
+	}
 	e.sent = m.Counters.Sent
 	e.applied = m.Counters.Applied
 	e.inline = m.Counters.Inline
 	e.bufferedN = m.Counters.Buffered
 	e.spilled = m.Counters.Spilled
 	e.updates = m.Counters.Updates
+	e.blocksScanned = m.Counters.BlocksScanned
+	e.blocksSkipped = m.Counters.BlocksSkipped
 	e.chargeCheckpointIO(restored, true)
 	d := time.Since(start)
 	e.eo.restores.Inc()

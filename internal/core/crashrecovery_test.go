@@ -50,16 +50,20 @@ func encodeStates[V any](vc graph.Codec[V], vals []V) []byte {
 	return enc
 }
 
-func crashRecoveryHarness[V, M any](t *testing.T, edges []graph.Edge, prog Program[V, M], vc graph.Codec[V], mc graph.Codec[M], maxIters, workers int, seed uint64) {
+func crashRecoveryHarness[V, M any](t *testing.T, edges []graph.Edge, prog Program[V, M], vc graph.Codec[V], mc graph.Codec[M], maxIters, workers int, seed uint64, mutate ...func(*Options)) {
 	t.Helper()
 	baseOpts := func(g *dos.Graph) Options {
-		return Options{
+		opts := Options{
 			MemoryBudget:      budgetForPartitions(g, int64(vc.Size()), 4, 64),
 			DynamicMessages:   true,
 			MsgBufferBytes:    64,
 			MaxIterations:     maxIters,
 			WorkerParallelism: workers,
 		}
+		for _, m := range mutate {
+			m(&opts)
+		}
+		return opts
 	}
 	newEng := func(g *dos.Graph, dir string, resume bool) *Engine[V, M] {
 		opts := baseOpts(g)
@@ -152,6 +156,30 @@ func TestCrashRecoveryMinLabelSequential(t *testing.T) {
 func TestCrashRecoveryMinLabelParallel(t *testing.T) {
 	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 62)
 	crashRecoveryHarness[minVal, uint32](t, edges, minLabel{}, minValCodec{}, graph.Uint32Codec{}, 0, 4, 102)
+}
+
+// The selective variants add the active-vertex bitmap to the durable
+// state: a resumed run must restore it from the checkpoint's "activeset"
+// section and reproduce the uninterrupted run's schedule exactly —
+// including the BlocksScanned/BlocksSkipped counters compared through
+// stripDurability's Result equality below.
+
+func TestCrashRecoverySelectiveSequential(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 65)
+	// A never-reachable density threshold keeps every partition on the
+	// sparse run-scheduled path, so the restored bitmap drives real
+	// block skipping across the crash boundary.
+	crashRecoveryHarness[minVal, uint32](t, edges, minLabel{}, minValCodec{}, graph.Uint32Codec{}, 0, 0, 105,
+		func(o *Options) { o.SelectiveScheduling = true; o.SelectiveDensity = 2 })
+}
+
+func TestCrashRecoverySelectiveParallel(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 66)
+	// Default density: dense iterations stream fully through the
+	// parallel Worker (exercising the chunk bit overlays), sparse tails
+	// take the selective path.
+	crashRecoveryHarness[minVal, uint32](t, edges, minLabel{}, minValCodec{}, graph.Uint32Codec{}, 0, 4, 106,
+		func(o *Options) { o.SelectiveScheduling = true })
 }
 
 func TestCrashRecoveryPageRankSequential(t *testing.T) {

@@ -212,6 +212,12 @@ func EmulateGraphChi[V, E any](layout Layout, prog graphchi.Program[V, E],
 	p := &emulatedProgram[V, E]{inner: prog, inDeg: inDegrees}
 	codec := emulatedCodec[V, E]{vcodec: vcodec, ecodec: ecodec, maxInDeg: maxIn, maxOutDeg: maxOut}
 	opts.ConvergeOnInactivity = true
+	// The emulation construction is not frontier-safe: every vertex
+	// re-sends its value along every out-edge each round whether or not
+	// it received anything, so a vertex with no in-neighbors would go
+	// unscheduled under selective scheduling and starve its neighbors'
+	// gathered in-edge lists. Force full streaming.
+	opts.SelectiveScheduling = false
 	eng, err := New[EmulatedVertex[V, E], emulatedMsg[E]](layout, p, codec,
 		emulatedMsgCodec[E]{ecodec: ecodec}, opts)
 	if err != nil {

@@ -58,6 +58,8 @@ type Context[M any] struct {
 	iteration int
 	send      func(dst graph.VertexID, m M)
 	active    *bool
+	as        *activeSet     // schedulability bits; nil unless selective scheduling
+	cur       graph.VertexID // vertex being updated (for MarkActive's bit)
 }
 
 // Iteration returns the current iteration number (0-based).
@@ -68,8 +70,14 @@ func (c *Context[M]) Send(dst graph.VertexID, m M) { c.send(dst, m) }
 
 // MarkActive signals that the vertex's value changed this iteration;
 // the engine keeps iterating while any vertex is active or any message
-// flows.
-func (c *Context[M]) MarkActive() { *c.active = true }
+// flows. Under selective scheduling it also keeps the vertex
+// schedulable for the next iteration.
+func (c *Context[M]) MarkActive() {
+	*c.active = true
+	if c.as != nil {
+		c.as.set(c.cur)
+	}
+}
 
 // Options configures an engine run.
 type Options struct {
@@ -112,6 +120,25 @@ type Options struct {
 	// per-iteration edge IO (the in-memory optimization the paper
 	// defers to future work). Auto-disabled when it does not fit.
 	CacheAdjacency bool
+	// SelectiveScheduling enables GraphMP-style selective block
+	// scheduling: the engine keeps one schedulability bit per vertex —
+	// set when a message is applied to it or its update marks active,
+	// cleared when its update runs — and skips reading adjacency blocks
+	// (and whole partitions) with no schedulable vertex and no pending
+	// message, falling back to full streaming when the active density
+	// reaches SelectiveDensity. Requires a frontier-safe program: Update
+	// must be a no-op (no state change, no sends, no MarkActive) for a
+	// vertex that received no message since its last update. Programs
+	// that mark every vertex active every round run unchanged (nothing
+	// is ever skipped). Final vertex states are byte-identical to a
+	// full-streaming run for such programs; iteration counts and
+	// update/message counters may differ, since a skipped vertex's
+	// propagation can shift by an iteration. See DESIGN.md §9.
+	SelectiveScheduling bool
+	// SelectiveDensity is the active-vertex density (set bits /
+	// partition vertices) at or above which a partition streams fully
+	// instead of scheduling blocks; 0 means the default 0.25.
+	SelectiveDensity float64
 	// ConvergeOnInactivity stops the run as soon as an iteration ends
 	// with no vertex marked active, even if messages were sent. Use
 	// for programs that re-send unchanged state every round (like the
@@ -171,6 +198,11 @@ type Result struct {
 	MessagesSpilled  int64 // messages that crossed the partition boundary to disk
 	SpillErrors      int64 // spill failures observed (first one aborts the run)
 	UpdatesRun       int64
+	// BlocksScanned/BlocksSkipped count adjacency blocks the selective
+	// scheduler read versus skipped; both zero unless
+	// Options.SelectiveScheduling is set.
+	BlocksScanned int64
+	BlocksSkipped int64
 	// Checkpoints counts the snapshots written this run;
 	// CheckpointBytes and CheckpointTime are their total size and
 	// wall-clock cost. All zero unless Options.Checkpoint is enabled.
@@ -211,6 +243,12 @@ type Engine[V, M any] struct {
 	finished  bool
 	runErr    error // first deferred error from message spilling
 	spillErrs int64 // all spill failures, including ones after runErr
+
+	// selective scheduling state (Options.SelectiveScheduling)
+	sel           *activeSet // per-vertex schedulability bits; nil when off
+	selDegs       []uint32   // planner scratch: current partition's degrees
+	blocksScanned int64
+	blocksSkipped int64
 
 	// durability state (Options.Checkpoint)
 	ckStore    *checkpoint.Store
@@ -254,7 +292,22 @@ func New[V, M any](layout Layout, prog Program[V, M], vcodec graph.Codec[V], mco
 		return nil, err
 	}
 	e.maybeEnableAdjCache()
+	if opts.SelectiveScheduling {
+		// One bit per vertex (1/32 of a minimal uint32 state). It is
+		// deliberately NOT budget-accounted: charging it would shift
+		// partition boundaries between selective and full-streaming
+		// runs of the same budget, breaking their comparability.
+		e.sel = newActiveSet(layout.NumVertices())
+	}
 	return e, nil
+}
+
+// selDensity resolves the configured full-streaming fallback threshold.
+func (e *Engine[V, M]) selDensity() float64 {
+	if e.opts.SelectiveDensity > 0 {
+		return e.opts.SelectiveDensity
+	}
+	return defaultSelectiveDensity
 }
 
 // plan chooses the partition count: the smallest P such that the index,
@@ -400,6 +453,12 @@ func (e *Engine[V, M]) loop(startIter int) (Result, error) {
 				return Result{}, err
 			}
 		}
+		if e.sel != nil {
+			e.eo.activeVerts.Set(e.sel.count)
+			if row != nil {
+				row.ActiveVertices = e.sel.count
+			}
+		}
 		if row != nil {
 			row.MessagesInline = e.inline - inlineBefore
 			row.MessagesBuffered = e.bufferedN - bufferedBefore
@@ -463,6 +522,8 @@ func (e *Engine[V, M]) result(iters, nParts int) Result {
 		MessagesSpilled:  e.spilled,
 		SpillErrors:      e.spillErrs,
 		UpdatesRun:       e.updates,
+		BlocksScanned:    e.blocksScanned,
+		BlocksSkipped:    e.blocksSkipped,
 		Checkpoints:      e.ckCount,
 		CheckpointBytes:  e.ckBytes,
 		CheckpointTime:   time.Duration(e.ckNS),
@@ -488,6 +549,25 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 	if count == 0 {
 		return nil
 	}
+	start := e.layout.OffsetOf(lo)
+	end := endOffset(e.layout, hi)
+
+	// Selective scheduling: a partition with no schedulable vertex and
+	// no pending message cannot change any state this iteration — skip
+	// it wholly, without loading states or touching the adjacency.
+	// Iteration 0 is the Init pass and never skips (the bitmap starts
+	// all-ones anyway).
+	if e.sel != nil && iter > 0 {
+		pend, err := e.pendingBytes(p)
+		if err != nil {
+			return err
+		}
+		if pend == 0 && !e.sel.anyInRange(lo, hi) {
+			e.accountSelective(selSchedule{blocksTotal: blocksIn(start, end)}, row)
+			e.eo.partsSkipped.Inc()
+			return nil
+		}
+	}
 
 	// --- MsgManager: load vertex states and apply pending messages ---
 	if err := e.loadVertices(lo, hi, iter); err != nil {
@@ -508,17 +588,25 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 		e.recordDrain(iter, p, drainStart, row)
 	}
 
+	// Plan the block schedule after the drain, so bits set by pending
+	// messages are visible; a dense partition streams fully.
+	var sched selSchedule
+	selSparse := false
+	if e.sel != nil {
+		sched = e.planPartition(lo, hi, start)
+		e.accountSelective(sched, row)
+		selSparse = !sched.streamAll
+	}
+
 	// --- Sio: adjacency entries, prefetched off the device or served
 	// from the resident cache ---
-	start := e.layout.OffsetOf(lo)
-	end := endOffset(e.layout, hi)
 	var ps *pipeStats
 	var partStart time.Time
 	if e.eo.on {
 		ps = &pipeStats{}
 		partStart = time.Now()
 	}
-	parallel := e.workerCount() > 1 && count > 1
+	parallel := !selSparse && e.workerCount() > 1 && count > 1
 	var stream entrySource
 	if parallel {
 		// The cache first-fill is a Sio-attributed read; do it before
@@ -528,6 +616,15 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 			if err := e.ensureAdjCached(p, start, end, ps); err != nil {
 				return err
 			}
+		}
+	} else if selSparse {
+		s, err := e.selectiveEntrySource(p, start, end, sched, ps)
+		if err != nil {
+			return err
+		}
+		if s != nil {
+			stream = s
+			defer stream.stop()
 		}
 	} else {
 		s, err := e.partitionEntrySource(p, start, end, ps)
@@ -547,6 +644,8 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 	var err error
 	if parallel {
 		active, err = e.runWorkerParallel(p, iter, lo, hi, start, end, ps, row)
+	} else if selSparse {
+		active, err = e.runWorkerSelective(stream, iter, lo, hi, sched)
 	} else {
 		active, err = e.runWorkerSequential(stream, iter, lo, hi)
 	}
@@ -573,15 +672,12 @@ func (e *Engine[V, M]) workerCount() int {
 	return e.opts.WorkerParallelism
 }
 
-// runWorkerSequential is the seed Worker stage: update vertices in
-// ascending ID order, intercepting every message the program sends.
-func (e *Engine[V, M]) runWorkerSequential(stream entrySource, iter int, lo, hi graph.VertexID) (bool, error) {
-	active := false
-	ctx := &Context[M]{
-		iteration: iter,
-		active:    &active,
-	}
-	ctx.send = func(dst graph.VertexID, m M) {
+// makeSend builds the sequential Worker's send closure for a resident
+// partition [lo, hi): inline apply for in-partition destinations under
+// dynamic messages, buffer/spill otherwise. An inline apply keeps the
+// destination schedulable under selective scheduling.
+func (e *Engine[V, M]) makeSend(lo, hi graph.VertexID) func(dst graph.VertexID, m M) {
+	return func(dst graph.VertexID, m M) {
 		e.sent++
 		e.charge(1, sim.CostMessageSend)
 		if e.opts.DynamicMessages && dst >= lo && dst < hi {
@@ -592,16 +688,40 @@ func (e *Engine[V, M]) runWorkerSequential(stream entrySource, iter int, lo, hi 
 			e.inline++
 			e.eo.inline.Inc()
 			e.charge(1, sim.CostMessageApply)
+			if e.sel != nil {
+				e.sel.set(dst)
+			}
 			return
 		}
 		e.bufferedN++
 		e.eo.buffered.Inc()
 		e.bufferMessage(dst, m)
 	}
+}
+
+// runWorkerSequential is the seed Worker stage: update vertices in
+// ascending ID order, intercepting every message the program sends.
+func (e *Engine[V, M]) runWorkerSequential(stream entrySource, iter int, lo, hi graph.VertexID) (bool, error) {
+	active := false
+	ctx := &Context[M]{
+		iteration: iter,
+		active:    &active,
+		as:        e.sel,
+	}
+	ctx.send = e.makeSend(lo, hi)
 
 	var adj []graph.VertexID
 	for v := lo; v < hi; v++ {
 		deg := e.layout.DegreeOf(v)
+		if e.sel != nil {
+			// Iteration 0 is the Init pass: programs conventionally
+			// broadcast there and ignore pending messages, so its bits
+			// survive into iteration 1 (where the update acts on them).
+			if iter > 0 {
+				e.sel.clear(v)
+			}
+			ctx.cur = v
+		}
 		adj = adj[:0]
 		for i := uint32(0); i < deg; i++ {
 			entry, err := stream.next()
@@ -616,6 +736,115 @@ func (e *Engine[V, M]) runWorkerSequential(stream entrySource, iter int, lo, hi 
 		e.charge(int64(deg), sim.CostEdgeScan)
 	}
 	return active, nil
+}
+
+// runWorkerSelective is the sparse Worker: it updates only the
+// schedule's runs, consuming their entry spans from the skip-aware
+// stream. Vertices outside every run have a clear bit and no pending
+// message, so a frontier-safe program's update would be a no-op there.
+// Sparse tails are IO-bound, so this path is always sequential.
+func (e *Engine[V, M]) runWorkerSelective(stream entrySource, iter int, lo, hi graph.VertexID, sched selSchedule) (bool, error) {
+	active := false
+	ctx := &Context[M]{iteration: iter, active: &active, as: e.sel}
+	ctx.send = e.makeSend(lo, hi)
+
+	var adj []graph.VertexID
+	for _, run := range sched.runs {
+		for v := run.lo; v < run.hi; v++ {
+			deg := e.selDegs[v-lo]
+			if iter > 0 { // Init-pass bits survive; see runWorkerSequential
+				e.sel.clear(v)
+			}
+			ctx.cur = v
+			adj = adj[:0]
+			for i := uint32(0); i < deg; i++ {
+				entry, err := stream.next()
+				if err != nil {
+					return false, fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
+				}
+				adj = append(adj, entry)
+			}
+			e.prog.Update(ctx, v, &e.verts[v-lo], adj)
+			e.updates++
+			e.charge(1, sim.CostVertexUpdate)
+			e.charge(int64(deg), sim.CostEdgeScan)
+		}
+	}
+	return active, nil
+}
+
+// pendingBytes returns the bytes of messages pending for partition p:
+// the spilled file plus the in-memory buffer tail. Size is a catalog
+// lookup, not a charged device read.
+func (e *Engine[V, M]) pendingBytes(p int) (int64, error) {
+	sz, err := e.dev.Size(e.msgFile(p))
+	if err != nil {
+		return 0, err
+	}
+	return sz + int64(len(e.msgBufs[p])), nil
+}
+
+// planPartition computes partition [lo, hi)'s block schedule from the
+// bitmap, filling the reusable degree scratch (the selective Worker
+// reads degrees from it instead of re-walking the index).
+func (e *Engine[V, M]) planPartition(lo, hi graph.VertexID, start int64) selSchedule {
+	count := int(hi - lo)
+	if cap(e.selDegs) < count {
+		e.selDegs = make([]uint32, count)
+	}
+	e.selDegs = e.selDegs[:count]
+	for v := lo; v < hi; v++ {
+		e.selDegs[v-lo] = e.layout.DegreeOf(v)
+	}
+	e.charge(int64(count), sim.CostActiveScan)
+	return planSelective(e.sel, lo, hi, start, e.selDegs, entriesPerBlock, e.selDensity())
+}
+
+// accountSelective folds one partition's schedule into the run's
+// block-scheduling totals, counters, and iteration row.
+func (e *Engine[V, M]) accountSelective(sched selSchedule, row *obs.IterStats) {
+	skipped := sched.blocksTotal - sched.blocksRead
+	e.blocksScanned += sched.blocksRead
+	e.blocksSkipped += skipped
+	e.eo.blocksScanned.Add(sched.blocksRead)
+	e.eo.blocksSkipped.Add(skipped)
+	if row != nil {
+		row.BlocksScanned += sched.blocksRead
+		row.BlocksSkipped += skipped
+	}
+}
+
+// selectiveEntrySource builds the sparse Worker's adjacency source for
+// partition p: cached sub-slices per run when the cache is on, or one
+// skip-aware prefetcher over the runs' entry ranges. Returns nil (no
+// source needed) when the schedule reads no entries at all.
+func (e *Engine[V, M]) selectiveEntrySource(p int, start, end int64, sched selSchedule, ps *pipeStats) (entrySource, error) {
+	if len(sched.runs) == 0 {
+		return nil, nil
+	}
+	if e.cacheOn {
+		if err := e.ensureAdjCached(p, start, end, ps); err != nil {
+			return nil, err
+		}
+		data := e.adjCache[p]
+		segs := make([][]byte, 0, len(sched.runs))
+		for _, r := range sched.runs {
+			if r.endOff > r.startOff {
+				segs = append(segs, data[(r.startOff-start)*4:(r.endOff-start)*4])
+			}
+		}
+		return &memRunsStream{segs: segs}, nil
+	}
+	ranges := make([]entryRange, 0, len(sched.runs))
+	for _, r := range sched.runs {
+		if r.endOff > r.startOff {
+			ranges = append(ranges, entryRange{start: r.startOff, end: r.endOff})
+		}
+	}
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	return newMultiEntryStream(e.dev, e.layout.EdgesFile(), ranges, ps)
 }
 
 // loadVertices brings [lo, hi) into e.verts: decoded from the vertex
@@ -732,6 +961,16 @@ func (e *Engine[V, M]) spillBuffer(p int, buf []byte) {
 // then clears both.
 func (e *Engine[V, M]) drainMessages(p int, lo graph.VertexID) error {
 	rec := 4 + e.msize
+	if len(e.msgBufs[p]) == 0 {
+		// Nothing in memory; skip even opening the file when the spill
+		// store is empty too (Size is an uncharged catalog lookup).
+		if sz, err := e.dev.Size(e.msgFile(p)); err != nil {
+			return err
+		} else if sz == 0 {
+			e.eo.drainSkipped.Inc()
+			return nil
+		}
+	}
 	f, err := e.dev.Open(e.msgFile(p))
 	if err != nil {
 		return err
@@ -770,6 +1009,10 @@ func (e *Engine[V, M]) applyRecord(rec []byte, lo graph.VertexID) {
 	e.prog.Apply(&e.verts[dst-lo], m)
 	e.applied++
 	e.charge(1, sim.CostMessageApply)
+	if e.sel != nil {
+		// A delivered message makes the destination schedulable.
+		e.sel.set(dst)
+	}
 }
 
 // Values reads the final vertex states (by layout ID) after Run.

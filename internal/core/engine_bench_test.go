@@ -69,6 +69,35 @@ func BenchmarkEngineObserved(b *testing.B) {
 	benchRun(b, g, obs.NewRegistry(), obs.NewTracer(io.Discard))
 }
 
+// BenchmarkEngineSelective runs min-label to convergence with selective
+// block scheduling off and on: the sparse tail iterations are where the
+// bitmap's bookkeeping must pay for itself in skipped block reads.
+func BenchmarkEngineSelective(b *testing.B) {
+	g := benchGraph(b)
+	for _, sel := range []bool{false, true} {
+		b.Run(fmt.Sprintf("selective=%v", sel), func(b *testing.B) {
+			opts := Options{
+				MemoryBudget:        budgetForPartitions(g, 8, 4, 4096),
+				DynamicMessages:     true,
+				MsgBufferBytes:      4096,
+				SelectiveScheduling: sel,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				eng.Cleanup()
+			}
+		})
+	}
+}
+
 // BenchmarkWorkerParallel measures the chunked Worker on the
 // compute-heavy, message-free program where speculation never loses its
 // bet — the intended speedup case for Options.WorkerParallelism.

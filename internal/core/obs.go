@@ -47,6 +47,14 @@ type engineObs struct {
 	workerHist *obs.Histogram // per-partition worker duration
 	drainHist  *obs.Histogram // per-partition drain duration
 
+	// Selective-scheduling instruments (Options.SelectiveScheduling;
+	// DESIGN.md §9).
+	blocksScanned *obs.Counter // adjacency blocks the block scheduler read
+	blocksSkipped *obs.Counter // adjacency blocks it proved inactive and skipped
+	partsSkipped  *obs.Counter // whole partitions skipped (no bits, no messages)
+	drainSkipped  *obs.Counter // drains skipped for partitions with nothing pending
+	activeVerts   *obs.Gauge   // schedulable vertices at the last iteration boundary
+
 	// Durability instruments (Options.Checkpoint; docs/DURABILITY.md).
 	ckpts      *obs.Counter   // checkpoints written
 	ckptBytes  *obs.Counter   // bytes persisted across all checkpoints
@@ -87,6 +95,12 @@ func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
 
 		workerHist: reg.Histogram("graphz_worker_partition_ns"),
 		drainHist:  reg.Histogram("graphz_drain_partition_ns"),
+
+		blocksScanned: reg.Counter("graphz_blocks_scanned_total"),
+		blocksSkipped: reg.Counter("graphz_blocks_skipped_total"),
+		partsSkipped:  reg.Counter("graphz_partitions_skipped_total"),
+		drainSkipped:  reg.Counter("graphz_drain_skipped_total"),
+		activeVerts:   reg.Gauge("graphz_active_vertices"),
 
 		ckpts:      reg.Counter("graphz_checkpoint_total"),
 		ckptBytes:  reg.Counter("graphz_checkpoint_bytes_total"),

@@ -56,6 +56,16 @@ func (e *Engine[V, M]) drainChunkBytes() int {
 // memory budget — and each chunk is fanned out across the worker pool.
 func (e *Engine[V, M]) drainMessagesParallel(p int, lo graph.VertexID) error {
 	rec := 4 + e.msize
+	if len(e.msgBufs[p]) == 0 {
+		// Nothing pending in memory or on the device: skip even opening
+		// the file (Size is an uncharged catalog lookup).
+		if sz, err := e.dev.Size(e.msgFile(p)); err != nil {
+			return err
+		} else if sz == 0 {
+			e.eo.drainSkipped.Inc()
+			return nil
+		}
+	}
 	f, err := e.dev.Open(e.msgFile(p))
 	if err != nil {
 		return err
@@ -110,6 +120,15 @@ func (e *Engine[V, M]) applyChunkParallel(data []byte, lo graph.VertexID, locks 
 	total := len(data) / rec
 	if total == 0 {
 		return
+	}
+	if e.sel != nil {
+		// Schedulability bits for the delivered messages, marked in a
+		// single pass before the fan-out: the activeSet is not
+		// concurrency-safe, and bit order is irrelevant (set is
+		// idempotent), so this keeps the pool race-free without locks.
+		for i := 0; i < total; i++ {
+			e.sel.set(graph.VertexID(binary.LittleEndian.Uint32(data[i*rec:])))
+		}
 	}
 	apply := func(recBytes []byte) {
 		dst := graph.VertexID(binary.LittleEndian.Uint32(recBytes))

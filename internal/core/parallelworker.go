@@ -72,11 +72,12 @@ type workerChunk[V any] struct {
 	startOff, endOff int64          // chunk's entry offsets [startOff, endOff)
 	degs             []uint32       // out-degrees for [lo, hi), precomputed
 
-	states []V    // speculated vertex states (private deep copies)
-	log    []byte // extra-chunk messages, send order: 4 B dst + msize
-	sent   int64  // all messages sent by the chunk
-	inline int64  // intra-chunk dynamic messages applied privately
-	edges  int64  // adjacency entries consumed
+	states []V        // speculated vertex states (private deep copies)
+	acts   *activeSet // speculated schedulability bits (selective scheduling)
+	log    []byte     // extra-chunk messages, send order: 4 B dst + msize
+	sent   int64      // all messages sent by the chunk
+	inline int64      // intra-chunk dynamic messages applied privately
+	edges  int64      // adjacency entries consumed
 	active bool
 	durNS  int64 // speculation wall time (metrics only)
 	err    error
@@ -242,6 +243,20 @@ func (e *Engine[V, M]) speculateChunk(c *workerChunk[V], snap []byte, partLo gra
 
 	act := false
 	ctx := &Context[M]{iteration: iter, active: &act}
+	if e.sel != nil {
+		// Private bit overlay for [c.lo, c.hi): the sequential Worker
+		// would leave a chunk vertex's bit set only if an apply (or
+		// MarkActive) landed after its update within this chunk — the
+		// overlay records exactly those, and the committer installs it
+		// over the global set when the speculation is kept. At
+		// iteration 0 the Init pass leaves every bit set (see
+		// runWorkerSequential), so the overlay starts full.
+		c.acts = newEmptyActiveSet(c.lo, n)
+		if iter == 0 {
+			c.acts.fillAll()
+		}
+		ctx.as = c.acts
+	}
 	rec := 4 + e.msize
 	ctx.send = func(dst graph.VertexID, m M) {
 		c.sent++
@@ -251,6 +266,9 @@ func (e *Engine[V, M]) speculateChunk(c *workerChunk[V], snap []byte, partLo gra
 			// exactly what the sequential Worker does.
 			e.prog.Apply(&c.states[dst-c.lo], m)
 			c.inline++
+			if c.acts != nil {
+				c.acts.set(dst)
+			}
 			return
 		}
 		off := len(c.log)
@@ -262,6 +280,12 @@ func (e *Engine[V, M]) speculateChunk(c *workerChunk[V], snap []byte, partLo gra
 	var adj []graph.VertexID
 	for v := c.lo; v < c.hi; v++ {
 		deg := c.degs[v-c.lo]
+		if c.acts != nil {
+			if iter > 0 {
+				c.acts.clear(v)
+			}
+			ctx.cur = v
+		}
 		adj = adj[:0]
 		for i := uint32(0); i < deg; i++ {
 			entry, err := src.next()
@@ -287,6 +311,13 @@ func (e *Engine[V, M]) speculateChunk(c *workerChunk[V], snap []byte, partLo gra
 // mark it dirty.
 func (e *Engine[V, M]) commitChunk(c *workerChunk[V], lo, hi graph.VertexID, chunkSize int, dirty []bool, active *bool) {
 	copy(e.verts[c.lo-lo:c.hi-lo], c.states)
+	if c.acts != nil {
+		// A clean commit means no earlier chunk's apply landed here, so
+		// the overlay is exactly the bit state the sequential
+		// clear-on-update/set-on-apply sequence would have left.
+		e.sel.copyFrom(c.acts, c.lo, c.hi)
+		c.acts = nil
+	}
 	n := int64(len(c.states))
 	e.updates += n
 	e.charge(n, sim.CostVertexUpdate)
@@ -312,6 +343,9 @@ func (e *Engine[V, M]) commitChunk(c *workerChunk[V], lo, hi graph.VertexID, chu
 			e.inline++
 			e.eo.inline.Inc()
 			e.charge(1, sim.CostMessageApply)
+			if e.sel != nil {
+				e.sel.set(dst)
+			}
 			dirty[int(dst-lo)/chunkSize] = true
 			continue
 		}
@@ -332,7 +366,7 @@ func (e *Engine[V, M]) reexecuteChunk(c *workerChunk[V], iter int, lo, hi graph.
 	defer src.stop()
 
 	act := false
-	ctx := &Context[M]{iteration: iter, active: &act}
+	ctx := &Context[M]{iteration: iter, active: &act, as: e.sel}
 	ctx.send = func(dst graph.VertexID, m M) {
 		e.sent++
 		e.charge(1, sim.CostMessageSend)
@@ -342,6 +376,9 @@ func (e *Engine[V, M]) reexecuteChunk(c *workerChunk[V], iter int, lo, hi graph.
 			e.inline++
 			e.eo.inline.Inc()
 			e.charge(1, sim.CostMessageApply)
+			if e.sel != nil {
+				e.sel.set(dst)
+			}
 			dirty[int(dst-lo)/chunkSize] = true
 			return
 		}
@@ -353,6 +390,12 @@ func (e *Engine[V, M]) reexecuteChunk(c *workerChunk[V], iter int, lo, hi graph.
 	var adj []graph.VertexID
 	for v := c.lo; v < c.hi; v++ {
 		deg := c.degs[v-c.lo]
+		if e.sel != nil {
+			if iter > 0 {
+				e.sel.clear(v)
+			}
+			ctx.cur = v
+		}
 		adj = adj[:0]
 		for i := uint32(0); i < deg; i++ {
 			entry, err := src.next()

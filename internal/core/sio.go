@@ -67,10 +67,27 @@ type sioBlock struct {
 	err  error
 }
 
+// entryRange is one contiguous edge-entry range [start, end) of the
+// adjacency file, in entries.
+type entryRange struct {
+	start, end int64
+}
+
 // newEntryStream starts a prefetcher over edge-entry range [start, end)
 // (in entries) of the named adjacency file. met, when non-nil, receives
 // the pipeline's timing and stall counters.
 func newEntryStream(dev *storage.Device, file string, start, end int64, met *pipeStats) (*entryStream, error) {
+	return newMultiEntryStream(dev, file, []entryRange{{start: start, end: end}}, met)
+}
+
+// newMultiEntryStream is the skip-aware Sio prefetcher: it reads the
+// given entry ranges in order through one bounded queue, never touching
+// the bytes between them — the device-level half of selective block
+// scheduling (a seek between ranges replaces the skipped blocks' reads).
+// Each range is entry-aligned and each starts a fresh block, so entries
+// still never straddle a block boundary. A single full range is exactly
+// the seed prefetcher.
+func newMultiEntryStream(dev *storage.Device, file string, ranges []entryRange, met *pipeStats) (*entryStream, error) {
 	f, err := dev.Open(file)
 	if err != nil {
 		return nil, err
@@ -80,44 +97,46 @@ func newEntryStream(dev *storage.Device, file string, start, end int64, met *pip
 		stopc:  make(chan struct{}),
 		met:    met,
 	}
-	r := storage.NewRangeReader(f, start*4, end*4)
 	go func() {
 		defer close(s.blocks)
-		for {
-			buf := blockPool.Get()
-			var t0 time.Time
-			if met != nil {
-				t0 = time.Now()
-			}
-			n, err := readChunk(r, buf)
-			if met != nil {
-				met.readNS.Add(int64(time.Since(t0)))
-				if n > 0 {
-					met.blocks.Add(1)
+		for _, rng := range ranges {
+			r := storage.NewRangeReader(f, rng.start*4, rng.end*4)
+			for {
+				buf := blockPool.Get()
+				var t0 time.Time
+				if met != nil {
+					t0 = time.Now()
 				}
-			}
-			if n > 0 {
-				select {
-				case s.blocks <- sioBlock{data: buf[:n]}:
-				case <-s.stopc:
-					// Early stop with the block still in hand:
-					// ownership never transferred, so recycle it
-					// here or it is lost to the GC.
+				n, err := readChunk(r, buf)
+				if met != nil {
+					met.readNS.Add(int64(time.Since(t0)))
+					if n > 0 {
+						met.blocks.Add(1)
+					}
+				}
+				if n > 0 {
+					select {
+					case s.blocks <- sioBlock{data: buf[:n]}:
+					case <-s.stopc:
+						// Early stop with the block still in hand:
+						// ownership never transferred, so recycle it
+						// here or it is lost to the GC.
+						blockPool.Put(buf)
+						return
+					}
+				} else {
 					blockPool.Put(buf)
+				}
+				if err == io.EOF {
+					break // next range
+				}
+				if err != nil {
+					select {
+					case s.blocks <- sioBlock{err: err}:
+					case <-s.stopc:
+					}
 					return
 				}
-			} else {
-				blockPool.Put(buf)
-			}
-			if err == io.EOF {
-				return
-			}
-			if err != nil {
-				select {
-				case s.blocks <- sioBlock{err: err}:
-				case <-s.stopc:
-				}
-				return
 			}
 		}
 	}()

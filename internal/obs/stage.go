@@ -74,6 +74,11 @@ type IterStats struct {
 	WorkerChunks  int64 // chunks executed speculatively
 	WorkerReexecs int64 // chunks invalidated by an earlier chunk's message and re-executed
 
+	// Selective block scheduling (zero unless enabled).
+	BlocksScanned  int64 // adjacency blocks the block scheduler read
+	BlocksSkipped  int64 // adjacency blocks proved inactive and skipped
+	ActiveVertices int64 // schedulable vertices at the iteration boundary
+
 	// Device traffic during the iteration (delta of storage.Stats).
 	DeviceReadBytes  int64
 	DeviceWriteBytes int64
@@ -87,7 +92,7 @@ func FormatIterTable(rows []IterStats) string {
 		return ""
 	}
 	header := []string{"iter", "sio", "dispatch", "worker", "drain",
-		"inline", "buffered", "spilled", "stalls", "reexec", "readB", "writeB", "seeks"}
+		"inline", "buffered", "spilled", "stalls", "reexec", "blkskip", "active", "readB", "writeB", "seeks"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -101,6 +106,8 @@ func FormatIterTable(rows []IterStats) string {
 			fmt.Sprintf("%d", r.MessagesSpilled),
 			fmt.Sprintf("%d", r.PrefetchStalls),
 			fmt.Sprintf("%d", r.WorkerReexecs),
+			fmt.Sprintf("%d", r.BlocksSkipped),
+			fmt.Sprintf("%d", r.ActiveVertices),
 			fmt.Sprintf("%d", r.DeviceReadBytes),
 			fmt.Sprintf("%d", r.DeviceWriteBytes),
 			fmt.Sprintf("%d", r.DeviceSeeks),

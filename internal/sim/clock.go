@@ -33,6 +33,10 @@ const (
 	// CostRecordSort is charged per record per merge-sort level in
 	// external sorting (comparison + move).
 	CostRecordSort = 9 * time.Nanosecond
+	// CostActiveScan is charged per vertex examined by the selective
+	// block scheduler's planning pass (a bitmap test plus a degree
+	// lookup) — the compute price of skipping IO.
+	CostActiveScan = 1 * time.Nanosecond
 	// CostByteCopy is charged per byte for bulk buffer copies
 	// (dispatcher parsing, shuffle binning). Expressed per 4 bytes
 	// because time.Duration has nanosecond granularity: 1 ns / 4 B =
