@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench bench-json benchdiff cover smoke
+.PHONY: build test check fmt vet race bench bench-json benchdiff cover smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,12 @@ race:
 bench:
 	$(GO) test -bench BenchmarkEngine -benchmem -run '^$$' ./internal/core/
 
-# bench-json records the engine benchmarks as a JSON snapshot for the
-# CI regression gate; benchdiff compares it to the committed baseline.
+# bench-json records the engine and codec benchmarks as a JSON snapshot
+# for the CI regression gate; benchdiff compares it to the committed
+# baseline.
 bench-json:
-	$(GO) test -bench BenchmarkEngine -benchmem -run '^$$' ./internal/core/ \
+	{ $(GO) test -bench BenchmarkEngine -benchmem -run '^$$' ./internal/core/ ; \
+	  $(GO) test -bench BenchmarkCodec -benchmem -run '^$$' ./internal/storage/ ; } \
 		| $(GO) run ./cmd/graphz-benchdiff -record -out BENCH_core.json
 
 benchdiff: bench-json
@@ -40,5 +42,13 @@ cover:
 # at random device operations must resume to byte-identical results.
 smoke:
 	$(GO) test -run 'TestCrashRecovery' -count=1 -v ./internal/core/
+
+# fuzz-short gives each DOS parser fuzz target a small budget — the CI
+# smoke setting. The checked-in seed corpus under internal/dos/testdata
+# replays on every plain `go test` run regardless.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzMetaParse$$' -fuzztime 10s ./internal/dos/
+	$(GO) test -run '^$$' -fuzz '^FuzzEdgesDecode$$' -fuzztime 10s ./internal/dos/
+	$(GO) test -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime 10s ./internal/dos/
 
 check: fmt vet race test

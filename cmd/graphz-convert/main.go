@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	graphz-convert -in graph.bin -prefix graph.dos [-device ssd] [-budget 8388608]
+//	graphz-convert -in graph.bin -prefix graph.dos [-device ssd] [-budget 8388608] [-codec varint]
 package main
 
 import (
@@ -27,6 +27,8 @@ func main() {
 		prefix = flag.String("prefix", "", "output prefix (default: input path without extension)")
 		device = flag.String("device", "ssd", "simulated device for cost accounting: hdd or ssd")
 		budget = flag.Int64("budget", 8<<20, "conversion memory budget in bytes")
+		codec  = flag.String("codec", "", "adjacency block codec for the DOS v2 format "+
+			"(raw or varint); empty writes the v1 format")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -42,6 +44,13 @@ func main() {
 	if *device == "hdd" {
 		kind = storage.HDD
 	}
+	var blockCodec storage.Codec
+	if *codec != "" {
+		var err error
+		if blockCodec, err = storage.CodecByName(*codec); err != nil {
+			fatal(err)
+		}
+	}
 
 	raw, err := os.ReadFile(*in)
 	if err != nil {
@@ -54,7 +63,7 @@ func main() {
 	}
 	dev.ResetStats()
 
-	g, err := dos.Convert(dos.ConvertConfig{Dev: dev, Clock: clock, MemoryBudget: *budget}, "raw", "g")
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev, Clock: clock, MemoryBudget: *budget, Codec: blockCodec}, "raw", "g")
 	if err != nil {
 		fatal(err)
 	}
@@ -80,12 +89,28 @@ func main() {
 	fmt.Printf("  vertices:        %d (max original ID %d)\n", g.NumVertices, g.MaxOldID)
 	fmt.Printf("  edges:           %d\n", g.NumEdges)
 	fmt.Printf("  unique degrees:  %d\n", g.UniqueDegrees())
+	if g.Version() == 2 {
+		edgeBytes, err := dev.Size(g.EdgesFile())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  format:          v2, %s codec, %d bytes of edges (raw would be %d, %.2fx), %d-byte block table\n",
+			g.Codec().Name(), edgeBytes, g.NumEdges*dos.EntryBytes,
+			safeRatio(g.NumEdges*dos.EntryBytes, edgeBytes), g.BlockTableBytes())
+	}
 	fmt.Printf("  vertex index:    %d bytes (CSR would need %d bytes, %.0fx more)\n",
 		g.IndexBytes(), int64(g.MaxOldID+1)*8,
 		float64(int64(g.MaxOldID+1)*8)/float64(g.IndexBytes()))
 	fmt.Printf("  modeled %s time: %v (compute %v, IO %v)\n",
 		kind, clock.Total(), clock.TotalCompute(), clock.TotalIO())
 	fmt.Printf("  device traffic:  %v\n", dev.Stats())
+}
+
+func safeRatio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 func fatal(err error) {

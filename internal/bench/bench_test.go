@@ -118,7 +118,7 @@ func TestMaxDegreeVertexIsDOSZero(t *testing.T) {
 	// (smallest-ID tie break) to new ID 0.
 	edges := EdgesFor(Small, false)
 	src := MaxDegreeVertex(edges)
-	prep := Prep(Small, FormatDOS, storage.HDD, 4, false)
+	prep := Prep(Small, FormatDOS, storage.HDD, 4, false, "")
 	if prep.Err != nil {
 		t.Fatal(prep.Err)
 	}
@@ -257,5 +257,37 @@ func TestRunSelectiveScheduling(t *testing.T) {
 	table := TableSelectiveScheduling(Small, storage.SSD, Mem8)
 	if !strings.Contains(table, "Selective block scheduling") || !strings.Contains(table, "BFS") {
 		t.Fatalf("selective table malformed:\n%s", table)
+	}
+}
+
+func TestRunCodec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the harness end to end")
+	}
+	v1 := Run(RunConfig{Scale: Small, Algo: PR, Engine: GraphZ, Kind: storage.SSD, Budget: Mem8})
+	vi := Run(RunConfig{Scale: Small, Algo: PR, Engine: GraphZ, Kind: storage.SSD, Budget: Mem8, Codec: "varint"})
+	if v1.Failed() || vi.Failed() {
+		t.Fatalf("runs failed: %v / %v", v1.Err, vi.Err)
+	}
+	if v1.CodecBytesRaw != 0 || v1.CodecBytesEncoded != 0 {
+		t.Fatalf("v1 run reported codec activity: %+v", v1)
+	}
+	if vi.CodecBytesRaw == 0 || vi.CodecBytesEncoded == 0 || vi.DecodeTime <= 0 {
+		t.Fatalf("varint run reported no codec work: %+v", vi)
+	}
+	if vi.CodecBytesEncoded >= vi.CodecBytesRaw {
+		t.Errorf("varint read %d encoded bytes for %d raw, no saving", vi.CodecBytesEncoded, vi.CodecBytesRaw)
+	}
+	// Compression must show up as fewer device bytes read end to end.
+	if vi.Stats.ReadBytes >= v1.Stats.ReadBytes {
+		t.Errorf("varint run read %d device bytes, v1 read %d", vi.Stats.ReadBytes, v1.Stats.ReadBytes)
+	}
+	// The algorithm outcome is codec-independent.
+	if vi.Iterations != v1.Iterations || vi.Spilled != v1.Spilled || vi.Inline != v1.Inline {
+		t.Fatalf("codec changed the run: v1 %+v, varint %+v", v1, vi)
+	}
+	table := TableCodec(Small, storage.SSD, Mem8)
+	if !strings.Contains(table, "Adjacency codecs") || !strings.Contains(table, "v2 varint") {
+		t.Fatalf("codec table malformed:\n%s", table)
 	}
 }

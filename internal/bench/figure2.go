@@ -27,14 +27,12 @@ func InPartitionCDF(g *dos.Graph, points int) ([]float64, error) {
 	histogram := make([]int64, points)
 	var total int64
 
-	// Stream the adjacency file sequentially, tracking the current
-	// source via the bucket table.
-	f, err := g.Device().Open(g.EdgesFile())
+	// Stream the adjacency entries sequentially (decoding blocks on a v2
+	// graph), tracking the current source via the bucket table.
+	r, err := g.Entries(0, g.NumEdges)
 	if err != nil {
 		return nil, err
 	}
-	r := storage.NewReader(f)
-	var buf [4]byte
 	for b := 0; b < len(g.Buckets); b++ {
 		bk := g.Buckets[b]
 		end := graph.VertexID(n)
@@ -43,11 +41,10 @@ func InPartitionCDF(g *dos.Graph, points int) ([]float64, error) {
 		}
 		for v := bk.FirstID; v < end; v++ {
 			for i := uint32(0); i < bk.Degree; i++ {
-				if err := r.ReadFull(buf[:]); err != nil {
+				dst, err := r.Next()
+				if err != nil {
 					return nil, fmt.Errorf("bench: streaming edges for CDF: %w", err)
 				}
-				dst := graph.VertexID(buf[0]) | graph.VertexID(buf[1])<<8 |
-					graph.VertexID(buf[2])<<16 | graph.VertexID(buf[3])<<24
 				m := v
 				if dst > m {
 					m = dst
@@ -75,7 +72,7 @@ func InPartitionCDF(g *dos.Graph, points int) ([]float64, error) {
 // InPartitionCDFFor builds (or reuses) the DOS conversion of a scale and
 // computes its CDF.
 func InPartitionCDFFor(s Scale, points int) ([]float64, error) {
-	prep := Prep(s, FormatDOS, storageKindForAnalysis, 4, false)
+	prep := Prep(s, FormatDOS, storageKindForAnalysis, 4, false, "")
 	if prep.Err != nil {
 		return nil, prep.Err
 	}

@@ -48,6 +48,7 @@ type prepKey struct {
 	kind     storage.Kind
 	evalSize int
 	sym      bool
+	codec    string
 }
 
 var (
@@ -56,22 +57,27 @@ var (
 )
 
 // Prep preprocesses a scale into the given format on a fresh device of
-// the given kind, memoizing the result. Callers that run algorithms on
-// the returned device must ResetStats/SetClock first and clean their
-// runtime files after.
-func Prep(s Scale, format Format, kind storage.Kind, evalSize int, sym bool) *PrepResult {
-	key := prepKey{s.Name, format, kind, evalSize, sym}
+// the given kind, memoizing the result. codec names the DOS adjacency
+// block codec ("raw" or "varint" selects the v2 format; "" keeps v1) and
+// is ignored by the other formats. Callers that run algorithms on the
+// returned device must ResetStats/SetClock first and clean their runtime
+// files after.
+func Prep(s Scale, format Format, kind storage.Kind, evalSize int, sym bool, codec string) *PrepResult {
+	if format != FormatDOS {
+		codec = ""
+	}
+	key := prepKey{s.Name, format, kind, evalSize, sym, codec}
 	prepMu.Lock()
 	defer prepMu.Unlock()
 	if r, ok := prepMemo[key]; ok {
 		return r
 	}
-	r := doPrep(s, format, kind, evalSize, sym)
+	r := doPrep(s, format, kind, evalSize, sym, codec)
 	prepMemo[key] = r
 	return r
 }
 
-func doPrep(s Scale, format Format, kind storage.Kind, evalSize int, sym bool) *PrepResult {
+func doPrep(s Scale, format Format, kind storage.Kind, evalSize int, sym bool, codec string) *PrepResult {
 	clock := sim.NewClock()
 	dev := NewDevice(kind, nil) // raw ingest is not charged
 	edges := EdgesFor(s, sym)
@@ -84,7 +90,13 @@ func doPrep(s Scale, format Format, kind storage.Kind, evalSize int, sym bool) *
 	var err error
 	switch format {
 	case FormatDOS:
-		_, err = dos.Convert(dos.ConvertConfig{Dev: dev, Clock: clock, MemoryBudget: DefaultBudget / 4, RemoveInput: true}, RawEdgeFile, Prefix)
+		var blockCodec storage.Codec
+		if codec != "" {
+			if blockCodec, err = storage.CodecByName(codec); err != nil {
+				break
+			}
+		}
+		_, err = dos.Convert(dos.ConvertConfig{Dev: dev, Clock: clock, MemoryBudget: DefaultBudget / 4, RemoveInput: true, Codec: blockCodec}, RawEdgeFile, Prefix)
 	case FormatCSR:
 		_, err = csr.Build(csr.BuildConfig{Dev: dev, Clock: clock, MemoryBudget: DefaultBudget / 4}, RawEdgeFile, Prefix)
 	case FormatChi:

@@ -85,6 +85,13 @@ type RunConfig struct {
 	// shows up in Runtime/IO and the BlocksSkipped column. Part of the
 	// memo key.
 	Selective bool
+	// Codec selects the DOS adjacency block codec for the GraphZ engine:
+	// "raw" or "varint" preps the v2 block-encoded format, "" keeps v1.
+	// Final states are byte-identical across codecs (the two v2 codecs
+	// even share the adjacency order); what changes is the device bytes
+	// read, reported in the CodecBytes columns. Ignored by the CSR/
+	// GraphChi/X-Stream engines. Part of the memo key.
+	Codec string
 }
 
 // Outcome is everything the tables and figures report about one run.
@@ -114,6 +121,11 @@ type Outcome struct {
 	// Selective-scheduling accounting (GraphZ engines with Selective).
 	BlocksScanned int64
 	BlocksSkipped int64
+	// Adjacency-codec accounting (GraphZ engine with Codec set): decoded
+	// bytes produced vs encoded bytes read, and the decode wall clock.
+	CodecBytesRaw     int64
+	CodecBytesEncoded int64
+	DecodeTime        time.Duration
 }
 
 // Failed reports whether the run could not execute (index too large,
@@ -201,7 +213,11 @@ func runLocked(cfg RunConfig) Outcome {
 			return out
 		}
 	}
-	prep := Prep(cfg.Scale, formatFor(cfg.Engine), cfg.Kind, evalSizeFor(cfg.Algo), sym)
+	codec := ""
+	if formatFor(cfg.Engine) == FormatDOS {
+		codec = cfg.Codec
+	}
+	prep := Prep(cfg.Scale, formatFor(cfg.Engine), cfg.Kind, evalSizeFor(cfg.Algo), sym, codec)
 	out.PrepTime = prep.Time
 	if prep.Err != nil {
 		out.Err = fmt.Errorf("preprocessing: %w", prep.Err)
@@ -313,6 +329,9 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 	out.CheckpointTime = res.CheckpointTime
 	out.BlocksScanned = res.BlocksScanned
 	out.BlocksSkipped = res.BlocksSkipped
+	out.CodecBytesRaw = res.CodecBytesRaw
+	out.CodecBytesEncoded = res.CodecBytesEncoded
+	out.DecodeTime = res.DecodeTime
 	return nil
 }
 

@@ -292,9 +292,10 @@ func planSelective(as *activeSet, lo, hi graph.VertexID, start int64, degs []uin
 	return sched
 }
 
-// blocksIn returns the block count of entry range [start, end).
-func blocksIn(start, end int64) int64 {
-	return (end - start + entriesPerBlock - 1) / entriesPerBlock
+// blocksIn returns the block count of entry range [start, end) at epb
+// entries per block.
+func blocksIn(start, end, epb int64) int64 {
+	return (end - start + epb - 1) / epb
 }
 
 // memRunsStream serves adjacency entries for a schedule's runs from

@@ -58,7 +58,7 @@ func (e *Engine[V, M]) maybeEnableAdjCache() {
 			maxPartVerts = n
 		}
 	}
-	used := e.layout.IndexBytes() + pipelineOverheadBytes +
+	used := e.layout.IndexBytes() + e.adj.TableBytes() + pipelineOverheadBytes +
 		p*int64(e.opts.MsgBufferBytes) + maxPartVerts
 	adjBytes := e.layout.NumEdges() * 4
 	if used+adjBytes <= e.opts.MemoryBudget {
@@ -78,19 +78,31 @@ func (e *Engine[V, M]) ensureAdjCached(p int, start, end int64, ps *pipeStats) e
 		}
 		return nil
 	}
-	// First visit: one charged sequential read, then resident forever.
-	f, err := e.dev.Open(e.layout.EdgesFile())
-	if err != nil {
-		return err
-	}
-	data := make([]byte, (end-start)*4)
+	// First visit: one charged fill read, then resident forever. The
+	// cache always holds raw little-endian entries — a block-encoded
+	// layout decodes during the fill, so every cache consumer stays
+	// codec-independent.
 	var t0 time.Time
 	if ps != nil {
 		t0 = time.Now()
 	}
-	r := storage.NewRangeReader(f, start*4, end*4)
-	if len(data) > 0 {
-		if err := r.ReadFull(data); err != nil {
+	var data []byte
+	if e.adj.FixedEntries() {
+		f, err := e.dev.Open(e.layout.EdgesFile())
+		if err != nil {
+			return err
+		}
+		data = make([]byte, (end-start)*4)
+		r := storage.NewRangeReader(f, start*4, end*4)
+		if len(data) > 0 {
+			if err := r.ReadFull(data); err != nil {
+				return fmt.Errorf("core: caching adjacency of partition %d: %w", p, err)
+			}
+		}
+	} else {
+		var err error
+		data, err = decodeEntryRange(e.dev, e.adj, e.layout.EdgesFile(), start, end, ps)
+		if err != nil {
 			return fmt.Errorf("core: caching adjacency of partition %d: %w", p, err)
 		}
 	}
@@ -112,7 +124,7 @@ func (e *Engine[V, M]) partitionEntrySource(p int, start, end int64, ps *pipeSta
 		}
 		return &memEntryStream{data: e.adjCache[p]}, nil
 	}
-	return newEntryStream(e.dev, e.layout.EdgesFile(), start, end, ps)
+	return newAdjStream(e.dev, e.adj, e.layout.EdgesFile(), []entryRange{{start: start, end: end}}, ps)
 }
 
 // rangeEntrySource returns an adjacency source for an arbitrary entry
@@ -127,7 +139,7 @@ func (e *Engine[V, M]) rangeEntrySource(p int, partStart, start, end int64, ps *
 		data := e.adjCache[p]
 		return &memEntryStream{data: data[(start-partStart)*4 : (end-partStart)*4]}, nil
 	}
-	return newEntryStream(e.dev, e.layout.EdgesFile(), start, end, ps)
+	return newAdjStream(e.dev, e.adj, e.layout.EdgesFile(), []entryRange{{start: start, end: end}}, ps)
 }
 
 // AdjacencyCached reports whether the engine is serving adjacency from

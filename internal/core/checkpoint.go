@@ -78,6 +78,15 @@ func (e *Engine[V, M]) computeLayoutHash() uint64 {
 	put(uint64(e.layout.IndexBytes()))
 	put(uint64(e.vsize))
 	put(uint64(e.msize))
+	// The adjacency order differs between fixed-entry files (v1 edge
+	// order) and block-encoded ones (v2's ascending sort), so a v1
+	// checkpoint must not resume over a v2 graph or vice versa. The two
+	// v2 codecs share an order — and a hash.
+	if e.adj.FixedEntries() {
+		put(1)
+	} else {
+		put(2)
+	}
 	if n := e.layout.NumVertices(); n > 0 {
 		stride := n/64 + 1
 		for v := 0; v < n; v += stride {

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/obs"
+	"graphz/internal/storage"
+)
+
+// Tests for the engine over DOS v2 block-encoded graphs: every scheduling
+// path must produce byte-identical vertex states and identical message
+// counters whichever codec stores the adjacency, and the codec byte
+// accounting must reconcile with what the device actually served.
+
+// buildDOSCodec converts edges to a v2 graph with the given codec on a
+// fresh null device. blockEntries 0 keeps the convert default.
+func buildDOSCodec(t *testing.T, edges []graph.Edge, codec storage.Codec, blockEntries int64) *dos.Graph {
+	t.Helper()
+	dev := storage.NewDevice(storage.NullDevice, storage.Options{})
+	if err := graph.WriteEdges(dev, "raw", edges); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dos.Convert(dos.ConvertConfig{Dev: dev, Codec: codec, BlockEntries: blockEntries}, "raw", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// counterFields extracts the deterministic (non-timing) Result counters.
+func counterFields(r Result) [10]int64 {
+	return [10]int64{
+		int64(r.Iterations), int64(r.Partitions),
+		r.MessagesSent, r.MessagesApplied, r.MessagesInline,
+		r.MessagesBuffered, r.MessagesSpilled, r.UpdatesRun,
+		r.BlocksScanned, r.BlocksSkipped,
+	}
+}
+
+// TestEngineV2MatchesV1AcrossPaths runs minLabel over the same edge set
+// stored as DOS v1, v2-raw, and v2-varint, through every scheduling path,
+// and demands identical final states everywhere — with identical counters
+// between the two v2 codecs, which share the adjacency order exactly.
+func TestEngineV2MatchesV1AcrossPaths(t *testing.T) {
+	edges := gen.RMAT(9, 4000, gen.NaturalRMAT, 31)
+	g1 := buildDOS(t, edges)
+	want := referenceMinLabels(g1.NumVertices, relabeledEdges(t, g1, edges))
+	// Budgets depend on the graph (the v2 offset table is resident).
+	paths := []struct {
+		name string
+		opts func(g *dos.Graph) Options
+	}{
+		{"sequential", func(g *dos.Graph) Options {
+			return Options{MemoryBudget: budgetForPartitions(g, 8, 4, 256), DynamicMessages: true, MsgBufferBytes: 256}
+		}},
+		{"cached", func(g *dos.Graph) Options {
+			return Options{MemoryBudget: 256 << 20, DynamicMessages: true, CacheAdjacency: true}
+		}},
+		{"selective", func(g *dos.Graph) Options {
+			return Options{MemoryBudget: budgetForPartitions(g, 8, 4, 256), DynamicMessages: true, MsgBufferBytes: 256, SelectiveScheduling: true}
+		}},
+		{"parallel", func(g *dos.Graph) Options {
+			return Options{MemoryBudget: budgetForPartitions(g, 8, 4, 256), DynamicMessages: true, MsgBufferBytes: 256, WorkerParallelism: 4}
+		}},
+	}
+	for _, path := range paths {
+		t.Run(path.name, func(t *testing.T) {
+			_, v1Vals := runMinLabel(t, g1, path.opts(g1))
+			var prevRes Result
+			var prevVals []minVal
+			for i, codec := range []storage.Codec{storage.CodecRaw, storage.CodecVarint} {
+				g2 := buildDOSCodec(t, edges, codec, 0)
+				res, vals := runMinLabel(t, g2, path.opts(g2))
+				for v := range want {
+					if vals[v].label != want[v] {
+						t.Fatalf("%s: vertex %d label = %d, want %d", codec.Name(), v, vals[v].label, want[v])
+					}
+					if vals[v].label != v1Vals[v].label {
+						t.Fatalf("%s: vertex %d label = %d, v1 got %d", codec.Name(), v, vals[v].label, v1Vals[v].label)
+					}
+				}
+				if i == 1 {
+					if counterFields(res) != counterFields(prevRes) {
+						t.Errorf("raw counters %v != varint counters %v", counterFields(prevRes), counterFields(res))
+					}
+					for v := range vals {
+						if vals[v] != prevVals[v] {
+							t.Fatalf("vertex %d state %+v (varint) != %+v (raw)", v, vals[v], prevVals[v])
+						}
+					}
+				}
+				prevRes, prevVals = res, vals
+			}
+			if got := codecBlockPool.outstanding(); got != 0 {
+				t.Errorf("codec block pool leaks %d buffers", got)
+			}
+		})
+	}
+}
+
+// TestEngineV2TinyBlocks forces a many-block layout (2 entries per block)
+// so block boundaries land inside adjacency lists on every path.
+func TestEngineV2TinyBlocks(t *testing.T) {
+	edges := gen.RMAT(7, 700, gen.NaturalRMAT, 32)
+	g1 := buildDOS(t, edges)
+	want := referenceMinLabels(g1.NumVertices, relabeledEdges(t, g1, edges))
+	g2 := buildDOSCodec(t, edges, storage.CodecVarint, 2)
+	budget := budgetForPartitions(g2, 8, 3, 128)
+	for _, opts := range []Options{
+		{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 128},
+		{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 128, SelectiveScheduling: true},
+		{MemoryBudget: budget, DynamicMessages: true, MsgBufferBytes: 128, WorkerParallelism: 3},
+	} {
+		_, vals := runMinLabel(t, g2, opts)
+		for v := range want {
+			if vals[v].label != want[v] {
+				t.Fatalf("vertex %d label = %d, want %d", v, vals[v].label, want[v])
+			}
+		}
+	}
+	if got := codecBlockPool.outstanding(); got != 0 {
+		t.Errorf("codec block pool leaks %d buffers", got)
+	}
+}
+
+// TestEngineV2CodecCounters reconciles the graphz_codec_* counters: the
+// varint engine must report decoded bytes equal to 4 bytes per streamed
+// entry, encoded bytes no larger, and a v1 run reports nothing.
+func TestEngineV2CodecCounters(t *testing.T) {
+	edges := gen.RMAT(8, 2000, gen.NaturalRMAT, 33)
+	g := buildDOSCodec(t, edges, storage.CodecVarint, 0)
+	reg := obs.NewRegistry()
+	res, _ := runMinLabel(t, g, Options{
+		MemoryBudget: 64 << 20, DynamicMessages: true, Obs: reg,
+	})
+	if res.CodecBytesRaw == 0 || res.CodecBytesEncoded == 0 {
+		t.Fatalf("codec counters empty: raw %d, encoded %d", res.CodecBytesRaw, res.CodecBytesEncoded)
+	}
+	// One full stream per iteration: 4 bytes per adjacency entry.
+	wantRaw := int64(res.Iterations) * g.NumEdges * 4
+	if res.CodecBytesRaw != wantRaw {
+		t.Errorf("CodecBytesRaw = %d, want %d (%d iterations of %d entries)",
+			res.CodecBytesRaw, wantRaw, res.Iterations, g.NumEdges)
+	}
+	if res.CodecBytesEncoded >= res.CodecBytesRaw {
+		t.Errorf("varint encoded bytes %d not smaller than raw %d", res.CodecBytesEncoded, res.CodecBytesRaw)
+	}
+	if got := reg.CounterValue("graphz_codec_bytes_raw_total"); got != res.CodecBytesRaw {
+		t.Errorf("registry raw bytes %d != result %d", got, res.CodecBytesRaw)
+	}
+	if got := reg.CounterValue("graphz_codec_bytes_encoded_total"); got != res.CodecBytesEncoded {
+		t.Errorf("registry encoded bytes %d != result %d", got, res.CodecBytesEncoded)
+	}
+	if reg.CounterValue("graphz_codec_decode_ns_total") <= 0 {
+		t.Error("decode time counter did not advance")
+	}
+
+	g1 := buildDOS(t, edges)
+	res1, _ := runMinLabel(t, g1, Options{
+		MemoryBudget: 64 << 20, DynamicMessages: true, Obs: obs.NewRegistry(),
+	})
+	if res1.CodecBytesRaw != 0 || res1.CodecBytesEncoded != 0 || res1.DecodeTime != 0 {
+		t.Errorf("v1 run reports codec activity: %+v", res1)
+	}
+}
+
+// TestEngineV2LayoutHash binds checkpoints to the adjacency order: v1 and
+// v2 layouts of the same graph hash differently (their edge orders
+// differ), while the two v2 codecs — whose adjacency is identical — share
+// a hash.
+func TestEngineV2LayoutHash(t *testing.T) {
+	edges := gen.RMAT(7, 600, gen.NaturalRMAT, 34)
+	opts := Options{MemoryBudget: 64 << 20, DynamicMessages: true}
+	hash := func(g *dos.Graph) uint64 {
+		eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.computeLayoutHash()
+	}
+	h1 := hash(buildDOS(t, edges))
+	hRaw := hash(buildDOSCodec(t, edges, storage.CodecRaw, 0))
+	hVarint := hash(buildDOSCodec(t, edges, storage.CodecVarint, 0))
+	if h1 == hRaw {
+		t.Error("v1 and v2 layouts share a checkpoint hash")
+	}
+	if hRaw != hVarint {
+		t.Error("v2-raw and v2-varint layouts hash differently")
+	}
+}
+
+// TestInDegreesV2 keeps the GraphChi/X-Stream emulation setup pass
+// working over block-encoded graphs.
+func TestInDegreesV2(t *testing.T) {
+	edges := gen.RMAT(7, 600, gen.NaturalRMAT, 35)
+	in1, err := InDegrees(DOSLayout(buildDOS(t, edges)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range []storage.Codec{storage.CodecRaw, storage.CodecVarint} {
+		in2, err := InDegrees(DOSLayout(buildDOSCodec(t, edges, codec, 3)))
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if len(in1) != len(in2) {
+			t.Fatalf("%s: %d in-degrees, want %d", codec.Name(), len(in2), len(in1))
+		}
+		for v := range in1 {
+			if in1[v] != in2[v] {
+				t.Fatalf("%s: vertex %d in-degree %d, want %d", codec.Name(), v, in2[v], in1[v])
+			}
+		}
+	}
+}

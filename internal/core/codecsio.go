@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// Codec-aware Sio/Dispatcher pipeline for DOS v2 graphs (docs/FORMAT.md
+// §Version 2): the edges file is cut into fixed-entry-count blocks that
+// are individually encoded, so the prefetcher fetches whole encoded
+// blocks by byte extent (from the per-block offset table) and the
+// Dispatcher decodes each block once into a reusable entry buffer. The
+// engine's entry-offset arithmetic — partition ranges, selective
+// scheduling's runs, the adjacency cache — is untouched; this file is
+// where entry offsets meet compressed bytes.
+
+// codecBlockPool recycles encoded-block buffers. It is deliberately
+// separate from blockPool: the raw Sio path assumes full-size
+// DefaultBlockSize buffers, while encoded blocks are variable-length and
+// may even exceed DefaultBlockSize under the varint worst case.
+var codecBlockPool = &countedPool{
+	pool: sync.Pool{New: func() any { return make([]byte, storage.DefaultBlockSize) }},
+}
+
+// codecGetBlock checks a buffer of exactly n bytes out of the pool,
+// growing past the pooled capacity when an encoded block demands it (the
+// grown buffer re-enters the pool on Put).
+func codecGetBlock(n int) []byte {
+	buf := codecBlockPool.Get()
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// newAdjStream is the entry-source chooser for device-backed adjacency:
+// fixed-entry layouts (DOS v1, CSR) keep the seed raw prefetcher, block-
+// encoded layouts get the codec pipeline. ranges are ascending, disjoint,
+// entry-aligned spans of the edges file; met (nilable) receives the
+// pipeline's counters.
+func newAdjStream(dev *storage.Device, adj storage.BlockLayout, file string, ranges []entryRange, met *pipeStats) (entrySource, error) {
+	if adj.FixedEntries() {
+		return newMultiEntryStream(dev, file, ranges, met)
+	}
+	return newCodecEntryStream(dev, adj, file, ranges, met)
+}
+
+// codecEntryStream is the block-codec twin of entryStream: the Sio
+// goroutine reads each needed encoded block (skipping blocks no range
+// touches — selective scheduling's skip math lands here as byte extents)
+// and the consumer decodes blocks on demand, serving entries by absolute
+// entry offset.
+type codecEntryStream struct {
+	blocks chan sioBlock
+	stopc  chan struct{}
+	adj    storage.BlockLayout
+	ranges []entryRange
+	met    *pipeStats
+
+	// consumer state
+	dec    []uint32 // decoded entries of block decBlk
+	decBlk int64    // decoded block index; -1 before the first
+	ri     int      // current range index
+	cur    int64    // absolute entry offset the next call serves
+	err    error
+}
+
+func newCodecEntryStream(dev *storage.Device, adj storage.BlockLayout, file string, ranges []entryRange, met *pipeStats) (*codecEntryStream, error) {
+	f, err := dev.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	s := &codecEntryStream{
+		blocks: make(chan sioBlock, sioQueueDepth),
+		stopc:  make(chan struct{}),
+		adj:    adj,
+		ranges: ranges,
+		met:    met,
+		decBlk: -1,
+	}
+	if len(ranges) > 0 {
+		s.cur = ranges[0].start
+	}
+	go func() {
+		defer close(s.blocks)
+		last := int64(-1)
+		for _, rng := range ranges {
+			if rng.end <= rng.start {
+				continue
+			}
+			for b := rng.start / adj.BlockEntries; b <= (rng.end-1)/adj.BlockEntries; b++ {
+				if b <= last {
+					continue // consecutive ranges may share a boundary block
+				}
+				last = b
+				lo, hi := adj.BlockRange(b)
+				buf := codecGetBlock(int(hi - lo))
+				var t0 time.Time
+				if met != nil {
+					t0 = time.Now()
+				}
+				err := storage.NewRangeReader(f, lo, hi).ReadFull(buf)
+				if met != nil {
+					met.readNS.Add(int64(time.Since(t0)))
+				}
+				if err != nil {
+					codecBlockPool.Put(buf)
+					select {
+					case s.blocks <- sioBlock{err: fmt.Errorf("core: reading encoded block %d at byte %d: %w", b, lo, err)}:
+					case <-s.stopc:
+					}
+					return
+				}
+				if met != nil {
+					met.blocks.Add(1)
+				}
+				select {
+				case s.blocks <- sioBlock{data: buf, idx: b}:
+				case <-s.stopc:
+					// Ownership never transferred; recycle here.
+					codecBlockPool.Put(buf)
+					return
+				}
+			}
+		}
+	}()
+	return s, nil
+}
+
+// next returns the next adjacency entry across the stream's ranges.
+func (s *codecEntryStream) next() (graph.VertexID, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	for s.ri < len(s.ranges) && s.cur >= s.ranges[s.ri].end {
+		s.ri++
+		if s.ri < len(s.ranges) {
+			s.cur = s.ranges[s.ri].start
+		}
+	}
+	if s.ri >= len(s.ranges) {
+		s.err = fmt.Errorf("core: adjacency stream exhausted early")
+		return 0, s.err
+	}
+	b := s.cur / s.adj.BlockEntries
+	if b != s.decBlk {
+		if err := s.recvDecode(b); err != nil {
+			s.err = err
+			return 0, err
+		}
+	}
+	v := s.dec[s.cur-b*s.adj.BlockEntries]
+	s.cur++
+	return graph.VertexID(v), nil
+}
+
+// recvDecode receives block b from the prefetcher and decodes it — the
+// Dispatcher step of the codec pipeline. The producer emits exactly the
+// blocks the ranges need, in ascending order, so the next block received
+// must be b.
+func (s *codecEntryStream) recvDecode(b int64) error {
+	blk, ok := s.recv()
+	if !ok {
+		return fmt.Errorf("core: adjacency stream exhausted early")
+	}
+	if blk.err != nil {
+		return blk.err
+	}
+	if blk.idx != b {
+		codecBlockPool.Put(blk.data)
+		return fmt.Errorf("core: codec stream out of order: got block %d, want %d", blk.idx, b)
+	}
+	t0 := time.Now()
+	dec, err := s.adj.Codec.DecodeBlock(s.dec[:0], blk.data)
+	if s.met != nil {
+		s.met.decodeNS.Add(int64(time.Since(t0)))
+		s.met.dispatchNS.Add(int64(time.Since(t0)))
+		s.met.codecEncB.Add(int64(len(blk.data)))
+		s.met.codecRawB.Add(int64(len(dec)) * 4)
+	}
+	codecBlockPool.Put(blk.data)
+	if err != nil {
+		return fmt.Errorf("core: decoding block %d: %w", b, err)
+	}
+	if int64(len(dec)) != s.adj.EntriesIn(b) {
+		return fmt.Errorf("core: block %d decodes to %d entries, want %d", b, len(dec), s.adj.EntriesIn(b))
+	}
+	s.dec, s.decBlk = dec, b
+	return nil
+}
+
+// recv receives the next prefetched block, counting a stall when the
+// queue is empty (mirroring entryStream.recvBlock, but nil-met safe).
+func (s *codecEntryStream) recv() (sioBlock, bool) {
+	select {
+	case blk, ok := <-s.blocks:
+		return blk, ok
+	default:
+	}
+	t0 := time.Now()
+	blk, ok := <-s.blocks
+	if ok && s.met != nil {
+		s.met.stalls.Add(1)
+		s.met.stallNS.Add(int64(time.Since(t0)))
+	}
+	return blk, ok
+}
+
+// stop shuts the prefetcher down, releasing queued buffers to the pool.
+func (s *codecEntryStream) stop() {
+	close(s.stopc)
+	for blk := range s.blocks {
+		if blk.data != nil {
+			codecBlockPool.Put(blk.data)
+		}
+	}
+}
+
+// decodeEntryRange decodes entries [start, end) of a block-encoded edges
+// file into raw little-endian u32 bytes — the adjacency cache's fill
+// path, which keeps the cache format (and every cache consumer)
+// codec-independent. ps, when non-nil, receives the codec counters.
+func decodeEntryRange(dev *storage.Device, adj storage.BlockLayout, file string, start, end int64, ps *pipeStats) ([]byte, error) {
+	out := make([]byte, (end-start)*4)
+	if end <= start {
+		return out, nil
+	}
+	f, err := dev.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	var dec []uint32
+	for b := start / adj.BlockEntries; b <= (end-1)/adj.BlockEntries; b++ {
+		lo, hi := adj.BlockRange(b)
+		buf := codecGetBlock(int(hi - lo))
+		if err := storage.NewRangeReader(f, lo, hi).ReadFull(buf); err != nil {
+			codecBlockPool.Put(buf)
+			return nil, fmt.Errorf("core: reading encoded block %d at byte %d: %w", b, lo, err)
+		}
+		t0 := time.Now()
+		dec, err = adj.Codec.DecodeBlock(dec[:0], buf)
+		if ps != nil {
+			ps.decodeNS.Add(int64(time.Since(t0)))
+			ps.codecEncB.Add(int64(len(buf)))
+			ps.codecRawB.Add(int64(len(dec)) * 4)
+		}
+		codecBlockPool.Put(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding block %d: %w", b, err)
+		}
+		if int64(len(dec)) != adj.EntriesIn(b) {
+			return nil, fmt.Errorf("core: block %d decodes to %d entries, want %d", b, len(dec), adj.EntriesIn(b))
+		}
+		// Copy the overlap of the block's entry span with [start, end).
+		blkStart := b * adj.BlockEntries
+		from, to := start, end
+		if blkStart > from {
+			from = blkStart
+		}
+		if e := blkStart + int64(len(dec)); e < to {
+			to = e
+		}
+		for i := from; i < to; i++ {
+			v := dec[i-blkStart]
+			o := (i - start) * 4
+			out[o] = byte(v)
+			out[o+1] = byte(v >> 8)
+			out[o+2] = byte(v >> 16)
+			out[o+3] = byte(v >> 24)
+		}
+	}
+	return out, nil
+}

@@ -250,7 +250,7 @@ func InDegrees(l Layout) ([]uint32, error) {
 	if err := l.LoadIndex(); err != nil {
 		return nil, err
 	}
-	stream, err := newEntryStream(l.Device(), l.EdgesFile(), 0, l.NumEdges(), nil)
+	stream, err := newAdjStream(l.Device(), l.Adj(), l.EdgesFile(), []entryRange{{start: 0, end: l.NumEdges()}}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -209,6 +209,14 @@ type Result struct {
 	Checkpoints     int64
 	CheckpointBytes int64
 	CheckpointTime  time.Duration
+	// CodecBytesRaw/CodecBytesEncoded compare decoded adjacency bytes
+	// produced against encoded bytes read off the device, and DecodeTime
+	// is the wall clock spent decoding. All zero on fixed-entry layouts
+	// (DOS v1, CSR) and, like Stages, populated only when Options.Obs or
+	// Options.Trace is set.
+	CodecBytesRaw     int64
+	CodecBytesEncoded int64
+	DecodeTime        time.Duration
 	// Stages is wall-clock time per pipeline stage, summed over the
 	// run; populated only when Options.Obs or Options.Trace is set.
 	Stages obs.StageTimes
@@ -224,7 +232,8 @@ type Engine[V, M any] struct {
 	opts   Options
 
 	dev        *storage.Device
-	partStarts []graph.VertexID // partition p covers [partStarts[p], partStarts[p+1])
+	adj        storage.BlockLayout // how the edges file maps entries to bytes
+	partStarts []graph.VertexID    // partition p covers [partStarts[p], partStarts[p+1])
 	vsize      int
 	msize      int
 
@@ -257,6 +266,11 @@ type Engine[V, M any] struct {
 	ckBytes    int64
 	ckNS       int64
 
+	// adjacency-codec accounting (block-encoded layouts only)
+	codecRawBytes int64
+	codecEncBytes int64
+	codecDecodeNS int64
+
 	eo          engineObs
 	stageTotals obs.StageTimes
 }
@@ -284,6 +298,7 @@ func New[V, M any](layout Layout, prog Program[V, M], vcodec graph.Codec[V], mco
 		mcodec: mcodec,
 		opts:   opts,
 		dev:    layout.Device(),
+		adj:    layout.Adj(),
 		vsize:  vcodec.Size(),
 		msize:  mcodec.Size(),
 		eo:     newEngineObs(opts.Obs, opts.Trace),
@@ -316,7 +331,9 @@ func (e *Engine[V, M]) selDensity() float64 {
 func (e *Engine[V, M]) plan() error {
 	n := int64(e.layout.NumVertices())
 	vertexBytes := n * int64(e.vsize)
-	fixed := e.layout.IndexBytes() + pipelineOverheadBytes
+	// A block-encoded layout holds its per-block offset table resident
+	// (TableBytes is zero for fixed-entry layouts).
+	fixed := e.layout.IndexBytes() + e.adj.TableBytes() + pipelineOverheadBytes
 	p := int64(1)
 	for {
 		avail := e.opts.MemoryBudget - fixed - p*int64(e.opts.MsgBufferBytes)
@@ -513,21 +530,24 @@ func (e *Engine[V, M]) removeMsgFiles(nParts int) {
 // result assembles the Result from the engine's cumulative counters.
 func (e *Engine[V, M]) result(iters, nParts int) Result {
 	return Result{
-		Iterations:       iters,
-		Partitions:       nParts,
-		MessagesSent:     e.sent,
-		MessagesApplied:  e.applied,
-		MessagesInline:   e.inline,
-		MessagesBuffered: e.bufferedN,
-		MessagesSpilled:  e.spilled,
-		SpillErrors:      e.spillErrs,
-		UpdatesRun:       e.updates,
-		BlocksScanned:    e.blocksScanned,
-		BlocksSkipped:    e.blocksSkipped,
-		Checkpoints:      e.ckCount,
-		CheckpointBytes:  e.ckBytes,
-		CheckpointTime:   time.Duration(e.ckNS),
-		Stages:           e.stageTotals,
+		Iterations:        iters,
+		Partitions:        nParts,
+		MessagesSent:      e.sent,
+		MessagesApplied:   e.applied,
+		MessagesInline:    e.inline,
+		MessagesBuffered:  e.bufferedN,
+		MessagesSpilled:   e.spilled,
+		SpillErrors:       e.spillErrs,
+		UpdatesRun:        e.updates,
+		BlocksScanned:     e.blocksScanned,
+		BlocksSkipped:     e.blocksSkipped,
+		Checkpoints:       e.ckCount,
+		CheckpointBytes:   e.ckBytes,
+		CheckpointTime:    time.Duration(e.ckNS),
+		CodecBytesRaw:     e.codecRawBytes,
+		CodecBytesEncoded: e.codecEncBytes,
+		DecodeTime:        time.Duration(e.codecDecodeNS),
+		Stages:            e.stageTotals,
 	}
 }
 
@@ -563,7 +583,7 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 			return err
 		}
 		if pend == 0 && !e.sel.anyInRange(lo, hi) {
-			e.accountSelective(selSchedule{blocksTotal: blocksIn(start, end)}, row)
+			e.accountSelective(selSchedule{blocksTotal: blocksIn(start, end, e.adj.BlockEntries)}, row)
 			e.eo.partsSkipped.Inc()
 			return nil
 		}
@@ -797,7 +817,7 @@ func (e *Engine[V, M]) planPartition(lo, hi graph.VertexID, start int64) selSche
 		e.selDegs[v-lo] = e.layout.DegreeOf(v)
 	}
 	e.charge(int64(count), sim.CostActiveScan)
-	return planSelective(e.sel, lo, hi, start, e.selDegs, entriesPerBlock, e.selDensity())
+	return planSelective(e.sel, lo, hi, start, e.selDegs, e.adj.BlockEntries, e.selDensity())
 }
 
 // accountSelective folds one partition's schedule into the run's
@@ -844,7 +864,7 @@ func (e *Engine[V, M]) selectiveEntrySource(p int, start, end int64, sched selSc
 	if len(ranges) == 0 {
 		return nil, nil
 	}
-	return newMultiEntryStream(e.dev, e.layout.EdgesFile(), ranges, ps)
+	return newAdjStream(e.dev, e.adj, e.layout.EdgesFile(), ranges, ps)
 }
 
 // loadVertices brings [lo, hi) into e.verts: decoded from the vertex

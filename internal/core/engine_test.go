@@ -152,7 +152,7 @@ func TestEngineMinLabelSinglePartition(t *testing.T) {
 func budgetForPartitions(g *dos.Graph, vsize, wantP, msgBuf int64) int64 {
 	vertexBytes := int64(g.NumVertices) * vsize
 	avail := (vertexBytes + wantP - 1) / wantP
-	return pipelineOverheadBytes + g.IndexBytes() + avail + wantP*msgBuf
+	return pipelineOverheadBytes + g.IndexBytes() + g.BlockTableBytes() + avail + wantP*msgBuf
 }
 
 func TestEngineMinLabelManyPartitions(t *testing.T) {

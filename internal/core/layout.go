@@ -37,6 +37,10 @@ type Layout interface {
 	Device() *storage.Device
 	// NewToOld maps layout IDs back to input IDs; nil means identity.
 	NewToOld() ([]graph.VertexID, error)
+	// Adj describes how the edges file maps entry offsets to bytes: a
+	// fixed-entry layout (4 bytes per entry) or DOS v2's block-encoded
+	// form with a per-block offset table and codec.
+	Adj() storage.BlockLayout
 }
 
 // dosLayout adapts dos.Graph. Degree lookups use a cursor over the bucket
@@ -90,6 +94,8 @@ func (l *dosLayout) Device() *storage.Device { return l.g.Device() }
 
 func (l *dosLayout) NewToOld() ([]graph.VertexID, error) { return l.g.NewToOld() }
 
+func (l *dosLayout) Adj() storage.BlockLayout { return l.g.BlockLayout() }
+
 // csrLayout adapts csr.Graph: the ablation case with a full per-vertex
 // index that must be loaded from disk and held resident.
 type csrLayout struct {
@@ -117,6 +123,8 @@ func (l *csrLayout) EdgesFile() string { return l.g.EdgesFile() }
 func (l *csrLayout) Device() *storage.Device { return l.g.Device() }
 
 func (l *csrLayout) NewToOld() ([]graph.VertexID, error) { return nil, nil }
+
+func (l *csrLayout) Adj() storage.BlockLayout { return storage.RawBlockLayout(l.g.NumEdges) }
 
 // endOffset returns the edge-entry offset one past vertex hi-1, i.e. the
 // end of the adjacency range for vertices [lo, hi).

@@ -29,6 +29,12 @@ type engineObs struct {
 	sioStalls *obs.Counter // Worker waits on an empty prefetch queue
 	adjHits   *obs.Counter // partitions served from the resident adjacency cache
 
+	// Adjacency-codec instruments (DOS v2; docs/FORMAT.md §Version 2).
+	// All zero on fixed-entry layouts — the raw path never decodes.
+	codecRawBytes *obs.Counter // decoded adjacency bytes produced (4 per entry)
+	codecEncBytes *obs.Counter // encoded adjacency bytes read off the device
+	codecDecodeNS *obs.Counter // time spent in Codec.DecodeBlock
+
 	sioNS      *obs.Counter // cumulative stage time, nanoseconds
 	dispatchNS *obs.Counter
 	workerNS   *obs.Counter
@@ -80,6 +86,10 @@ func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
 		sioStalls: reg.Counter("graphz_sio_stalls_total"),
 		adjHits:   reg.Counter("graphz_adjcache_hits_total"),
 
+		codecRawBytes: reg.Counter("graphz_codec_bytes_raw_total"),
+		codecEncBytes: reg.Counter("graphz_codec_bytes_encoded_total"),
+		codecDecodeNS: reg.Counter("graphz_codec_decode_ns_total"),
+
 		sioNS:      reg.Counter("graphz_stage_sio_ns_total"),
 		dispatchNS: reg.Counter("graphz_stage_dispatch_ns_total"),
 		workerNS:   reg.Counter("graphz_stage_worker_ns_total"),
@@ -126,6 +136,10 @@ type pipeStats struct {
 	stallNS    atomic.Int64 // consumers: time blocked on an empty queue
 	dispatchNS atomic.Int64 // consumers: block parse (Dispatcher) time
 
+	decodeNS  atomic.Int64 // consumers: block codec decode time (⊆ dispatchNS)
+	codecRawB atomic.Int64 // consumers: decoded bytes produced
+	codecEncB atomic.Int64 // consumers: encoded bytes consumed
+
 	fillNS   int64 // engine goroutine: adjacency-cache first-fill read time
 	cacheHit bool  // partition served from the resident cache
 }
@@ -145,6 +159,14 @@ func (e *Engine[V, M]) recordPipe(ps *pipeStats, iter, p int, partStart time.Tim
 	e.eo.dispatchNS.Add(int64(dispatch))
 	if ps.cacheHit {
 		e.eo.adjHits.Inc()
+	}
+	if raw := ps.codecRawB.Load(); raw > 0 {
+		e.eo.codecRawBytes.Add(raw)
+		e.eo.codecEncBytes.Add(ps.codecEncB.Load())
+		e.eo.codecDecodeNS.Add(ps.decodeNS.Load())
+		e.codecRawBytes += raw
+		e.codecEncBytes += ps.codecEncB.Load()
+		e.codecDecodeNS += ps.decodeNS.Load()
 	}
 	e.stageTotals.Sio += sio
 	e.stageTotals.Dispatch += dispatch

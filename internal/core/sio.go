@@ -64,6 +64,7 @@ type entryStream struct {
 
 type sioBlock struct {
 	data []byte
+	idx  int64 // block index, set only by the codec prefetcher
 	err  error
 }
 

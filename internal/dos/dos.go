@@ -45,7 +45,10 @@ const BucketBytes = 16
 const EntryBytes = 4
 
 // Graph is a degree-ordered graph resident on a device. The Buckets slice
-// is the entire vertex index; everything else stays on the device.
+// is the entire vertex index; everything else stays on the device (the v2
+// per-block offset table also resides in memory, one u64 per ~64Ki
+// entries — still ~4 orders of magnitude smaller than a per-vertex
+// index).
 type Graph struct {
 	dev    *storage.Device
 	prefix string
@@ -54,7 +57,49 @@ type Graph struct {
 	NumEdges    int64 // adjacency entries in the edges file
 	MaxOldID    graph.VertexID
 	Buckets     []Bucket // ascending FirstID, descending Degree
+
+	// v2 block-codec state; all zero for a v1 graph.
+	codec        storage.Codec // block codec (nil for v1 — raw fixed entries)
+	blockEntries int64         // entries per encoded block
+	blockOffs    []int64       // byte offset per block, plus the file size
 }
+
+// Version reports the on-device format version: 1 (raw fixed 4-byte
+// entries) or 2 (block-encoded edges with a per-block offset table).
+func (g *Graph) Version() int {
+	if g.blockOffs == nil {
+		return 1
+	}
+	return 2
+}
+
+// Codec returns the adjacency block codec (storage.CodecRaw for v1).
+func (g *Graph) Codec() storage.Codec {
+	if g.codec == nil {
+		return storage.CodecRaw
+	}
+	return g.codec
+}
+
+// BlockLayout describes how the edges file is addressed on the device —
+// the translation the engine's Sio/Dispatcher pipeline needs to keep its
+// entry-offset arithmetic while the bytes underneath are compressed.
+func (g *Graph) BlockLayout() storage.BlockLayout {
+	if g.Version() == 1 {
+		return storage.RawBlockLayout(g.NumEdges)
+	}
+	return storage.BlockLayout{
+		Codec:        g.codec,
+		BlockEntries: g.blockEntries,
+		NumEntries:   g.NumEdges,
+		BlockOffs:    g.blockOffs,
+	}
+}
+
+// BlockTableBytes returns the resident size of the v2 per-block offset
+// table (zero for v1). Reported separately from IndexBytes so the paper's
+// Table XI index-size comparison stays codec-independent.
+func (g *Graph) BlockTableBytes() int64 { return int64(len(g.blockOffs)) * 8 }
 
 // File name suffixes under the graph's prefix.
 const (
@@ -91,6 +136,10 @@ func (g *Graph) bucketOf(x graph.VertexID) (int, error) {
 	}
 	// First bucket with FirstID > x, minus one.
 	i := sort.Search(len(g.Buckets), func(i int) bool { return g.Buckets[i].FirstID > x })
+	if i == 0 {
+		// Only possible on a corrupt bucket table (bucket 0 must cover ID 0).
+		return 0, fmt.Errorf("dos: vertex %d precedes the first bucket", x)
+	}
 	return i - 1, nil
 }
 
@@ -127,6 +176,20 @@ func (g *Graph) Adjacency(x graph.VertexID, dst []graph.VertexID) ([]graph.Verte
 		return dst, nil
 	}
 	off := g.Buckets[b].FirstOff + int64(x-g.Buckets[b].FirstID)*int64(g.Buckets[b].Degree)
+	if g.Version() == 2 {
+		r, err := g.Entries(off, off+int64(deg))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < deg; i++ {
+			v, err := r.Next()
+			if err != nil {
+				return nil, fmt.Errorf("dos: adjacency of vertex %d: %w", x, err)
+			}
+			dst = append(dst, v)
+		}
+		return dst, nil
+	}
 	f, err := g.dev.Open(g.EdgesFile())
 	if err != nil {
 		return nil, err
@@ -143,6 +206,98 @@ func (g *Graph) Adjacency(x graph.VertexID, dst []graph.VertexID) ([]graph.Verte
 		dst = append(dst, graph.VertexID(binary.LittleEndian.Uint32(buf[i*EntryBytes:])))
 	}
 	return dst, nil
+}
+
+// EntryReader streams decoded adjacency entries over an entry range,
+// transparently handling both the v1 raw layout and v2 encoded blocks
+// (each block is read and decoded once, in order). Next returns io.EOF
+// when the range is exhausted.
+type EntryReader struct {
+	g    *Graph
+	f    *storage.File
+	blk  storage.BlockLayout
+	next int64 // absolute entry offset of the next entry
+	end  int64
+
+	r *storage.Reader // v1: sequential range reader
+
+	dec    []uint32 // v2: decoded entries of block cur
+	cur    int64    // v2: decoded block index; -1 before the first
+	curOff int64    // v2: byte offset of block cur (for error reporting)
+}
+
+// Entries returns a reader over the adjacency entries [start, end).
+func (g *Graph) Entries(start, end int64) (*EntryReader, error) {
+	if start < 0 || end < start || end > g.NumEdges {
+		return nil, fmt.Errorf("dos: entry range [%d,%d) outside [0,%d)", start, end, g.NumEdges)
+	}
+	f, err := g.dev.Open(g.EdgesFile())
+	if err != nil {
+		return nil, err
+	}
+	r := &EntryReader{g: g, f: f, blk: g.BlockLayout(), next: start, end: end, cur: -1}
+	if g.Version() == 1 {
+		r.r = storage.NewRangeReader(f, start*EntryBytes, end*EntryBytes)
+	}
+	return r, nil
+}
+
+// ByteOffset returns the file byte offset associated with the entry Next
+// will return: the entry's own offset for v1, or the start of its encoded
+// block for v2 (individual entries have no addressable bytes there).
+func (r *EntryReader) ByteOffset() int64 {
+	if r.g.Version() == 1 {
+		return r.next * EntryBytes
+	}
+	b := r.next / r.blk.BlockEntries
+	if b >= r.blk.NumBlocks() {
+		return r.blk.BlockOffs[len(r.blk.BlockOffs)-1]
+	}
+	lo, _ := r.blk.BlockRange(b)
+	return lo
+}
+
+// Next returns the next entry, or io.EOF past the end of the range.
+func (r *EntryReader) Next() (graph.VertexID, error) {
+	if r.next >= r.end {
+		return 0, io.EOF
+	}
+	if r.r != nil {
+		var buf [EntryBytes]byte
+		if err := r.r.ReadFull(buf[:]); err != nil {
+			return 0, fmt.Errorf("dos: reading entry %d: %w", r.next, err)
+		}
+		r.next++
+		return graph.VertexID(binary.LittleEndian.Uint32(buf[:])), nil
+	}
+	b := r.next / r.blk.BlockEntries
+	if b != r.cur {
+		if err := r.loadBlock(b); err != nil {
+			return 0, err
+		}
+	}
+	v := r.dec[r.next-b*r.blk.BlockEntries]
+	r.next++
+	return graph.VertexID(v), nil
+}
+
+// loadBlock reads and decodes encoded block b into r.dec.
+func (r *EntryReader) loadBlock(b int64) error {
+	lo, hi := r.blk.BlockRange(b)
+	buf := make([]byte, hi-lo)
+	if err := storage.NewRangeReader(r.f, lo, hi).ReadFull(buf); err != nil {
+		return fmt.Errorf("dos: reading block %d at byte %d: %w", b, lo, err)
+	}
+	dec, err := r.blk.Codec.DecodeBlock(r.dec[:0], buf)
+	if err != nil {
+		return fmt.Errorf("dos: decoding block %d at byte %d: %w", b, lo, err)
+	}
+	if int64(len(dec)) != r.blk.EntriesIn(b) {
+		return fmt.Errorf("dos: block %d at byte %d decodes to %d entries, want %d",
+			b, lo, len(dec), r.blk.EntriesIn(b))
+	}
+	r.dec, r.cur, r.curOff = dec, b, lo
+	return nil
 }
 
 // NewToOld loads the full new→old ID map (one u32 per new ID). Intended
@@ -173,16 +328,21 @@ func (g *Graph) OldToNew() ([]graph.VertexID, error) {
 	return out, nil
 }
 
-// writeMeta persists counts and the bucket table.
+// writeMeta persists counts and the bucket table; a v2 graph additionally
+// writes the codec byte, the block cut, and the per-block offset table
+// (see docs/FORMAT.md).
 func (g *Graph) writeMeta() error {
-	buf := make([]byte, 32+len(g.Buckets)*BucketBytes)
+	if g.Version() == 2 {
+		return g.writeMetaV2()
+	}
+	buf := make([]byte, metaHeaderV1+len(g.Buckets)*BucketBytes)
 	binary.LittleEndian.PutUint64(buf[0:], metaMagic)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(g.NumVertices))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(g.NumEdges))
 	binary.LittleEndian.PutUint32(buf[24:], uint32(g.MaxOldID))
 	binary.LittleEndian.PutUint32(buf[28:], uint32(len(g.Buckets)))
 	for i, b := range g.Buckets {
-		o := 32 + i*BucketBytes
+		o := metaHeaderV1 + i*BucketBytes
 		binary.LittleEndian.PutUint32(buf[o:], b.Degree)
 		binary.LittleEndian.PutUint32(buf[o+4:], uint32(b.FirstID))
 		binary.LittleEndian.PutUint64(buf[o+8:], uint64(b.FirstOff))
@@ -190,15 +350,55 @@ func (g *Graph) writeMeta() error {
 	return storage.WriteAll(g.dev, g.MetaFile(), buf)
 }
 
-const metaMagic = 0x5a6872_47534f44 // "DOSGhZ"-ish tag
+func (g *Graph) writeMetaV2() error {
+	nb := int64(len(g.blockOffs)) - 1
+	buf := make([]byte, metaHeaderV2+len(g.Buckets)*BucketBytes+len(g.blockOffs)*8)
+	binary.LittleEndian.PutUint64(buf[0:], metaMagicV2)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(g.NumVertices))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(g.NumEdges))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(g.MaxOldID))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(len(g.Buckets)))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(g.codec.ID()))
+	binary.LittleEndian.PutUint32(buf[36:], uint32(g.blockEntries))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(nb))
+	for i, b := range g.Buckets {
+		o := metaHeaderV2 + i*BucketBytes
+		binary.LittleEndian.PutUint32(buf[o:], b.Degree)
+		binary.LittleEndian.PutUint32(buf[o+4:], uint32(b.FirstID))
+		binary.LittleEndian.PutUint64(buf[o+8:], uint64(b.FirstOff))
+	}
+	tab := metaHeaderV2 + len(g.Buckets)*BucketBytes
+	for i, off := range g.blockOffs {
+		binary.LittleEndian.PutUint64(buf[tab+i*8:], uint64(off))
+	}
+	return storage.WriteAll(g.dev, g.MetaFile(), buf)
+}
 
-// Load opens a previously converted graph by prefix.
+const (
+	metaMagic    = 0x5a6872_47534f44  // "DOSGhZ"-ish tag (v1)
+	metaMagicV2  = 0x325a687247534f44 // v1 tag with '2' in the top byte
+	metaHeaderV1 = 32
+	metaHeaderV2 = 48
+)
+
+// maxMetaVertices bounds the vertex/edge counts a meta file may claim:
+// IDs are u32, so a dense new-ID space cannot exceed 2^32 (guards int
+// conversions on hostile inputs).
+const maxMetaVertices = int64(1) << 32
+
+// Load opens a previously converted graph by prefix. Both format
+// versions are recognized; malformed meta files of either version return
+// errors, never panic (the FuzzMetaParse target holds this).
 func Load(dev *storage.Device, prefix string) (*Graph, error) {
 	buf, err := storage.ReadAllFile(dev, prefix+suffixMeta)
 	if err != nil {
 		return nil, fmt.Errorf("dos: loading meta: %w", err)
 	}
-	if len(buf) < 32 || binary.LittleEndian.Uint64(buf) != metaMagic {
+	if len(buf) < metaHeaderV1 {
+		return nil, fmt.Errorf("dos: %q is not a DOS meta file", prefix+suffixMeta)
+	}
+	magic := binary.LittleEndian.Uint64(buf)
+	if magic != metaMagic && magic != metaMagicV2 {
 		return nil, fmt.Errorf("dos: %q is not a DOS meta file", prefix+suffixMeta)
 	}
 	g := &Graph{
@@ -208,17 +408,65 @@ func Load(dev *storage.Device, prefix string) (*Graph, error) {
 		NumEdges:    int64(binary.LittleEndian.Uint64(buf[16:])),
 		MaxOldID:    graph.VertexID(binary.LittleEndian.Uint32(buf[24:])),
 	}
-	n := int(binary.LittleEndian.Uint32(buf[28:]))
-	if len(buf) != 32+n*BucketBytes {
-		return nil, fmt.Errorf("dos: meta file truncated: %d buckets claimed, %d bytes", n, len(buf))
+	if v, e := binary.LittleEndian.Uint64(buf[8:]), binary.LittleEndian.Uint64(buf[16:]); v > uint64(maxMetaVertices) || e > uint64(maxMetaVertices) {
+		return nil, fmt.Errorf("dos: meta claims %d vertices, %d edges: out of the u32 ID space", v, e)
+	}
+	header := metaHeaderV1
+	if magic == metaMagicV2 {
+		header = metaHeaderV2
+		if len(buf) < metaHeaderV2 {
+			return nil, fmt.Errorf("dos: v2 meta file truncated: %d bytes", len(buf))
+		}
+	}
+	n := int64(binary.LittleEndian.Uint32(buf[28:]))
+	want := int64(header) + n*BucketBytes
+	if magic == metaMagicV2 {
+		be := int64(binary.LittleEndian.Uint32(buf[36:]))
+		if be <= 0 {
+			return nil, fmt.Errorf("dos: v2 meta block size %d", be)
+		}
+		wantBlocks := (g.NumEdges + be - 1) / be
+		nb := binary.LittleEndian.Uint64(buf[40:])
+		if nb != uint64(wantBlocks) {
+			return nil, fmt.Errorf("dos: v2 meta claims %d blocks, %d edges at %d entries/block need %d",
+				nb, g.NumEdges, be, wantBlocks)
+		}
+		codec, err := storage.CodecByID(byte(binary.LittleEndian.Uint32(buf[32:])))
+		if err != nil {
+			return nil, fmt.Errorf("dos: v2 meta: %w", err)
+		}
+		g.codec, g.blockEntries = codec, be
+		want += (wantBlocks + 1) * 8
+	}
+	if int64(len(buf)) != want {
+		return nil, fmt.Errorf("dos: meta file truncated: %d buckets claimed, %d bytes (want %d)", n, len(buf), want)
 	}
 	g.Buckets = make([]Bucket, n)
 	for i := range g.Buckets {
-		o := 32 + i*BucketBytes
+		o := header + i*BucketBytes
 		g.Buckets[i] = Bucket{
 			Degree:   binary.LittleEndian.Uint32(buf[o:]),
 			FirstID:  graph.VertexID(binary.LittleEndian.Uint32(buf[o+4:])),
 			FirstOff: int64(binary.LittleEndian.Uint64(buf[o+8:])),
+		}
+	}
+	if magic == metaMagicV2 {
+		tab := int64(header) + n*BucketBytes
+		nb := (g.NumEdges + g.blockEntries - 1) / g.blockEntries
+		g.blockOffs = make([]int64, nb+1)
+		for i := range g.blockOffs {
+			off := int64(binary.LittleEndian.Uint64(buf[tab+int64(i)*8:]))
+			if off < 0 {
+				return nil, fmt.Errorf("dos: v2 block offset table negative at block %d (%d)", i, off)
+			}
+			if i > 0 && off < g.blockOffs[i-1] {
+				return nil, fmt.Errorf("dos: v2 block offset table not monotone at block %d (%d after %d)",
+					i, off, g.blockOffs[i-1])
+			}
+			g.blockOffs[i] = off
+		}
+		if g.blockOffs[0] != 0 {
+			return nil, fmt.Errorf("dos: v2 block offset table starts at %d, want 0", g.blockOffs[0])
 		}
 	}
 	return g, nil
@@ -226,8 +474,12 @@ func Load(dev *storage.Device, prefix string) (*Graph, error) {
 
 // RangeEdgeReader returns a sequential reader over the adjacency entries
 // of the vertex range [lo, hi) — the access pattern of the engine's Sio
-// component — plus the entry offset the range starts at.
+// component — plus the entry offset the range starts at. It is a v1-only
+// raw-byte view; block-encoded graphs must use Entries.
 func (g *Graph) RangeEdgeReader(lo, hi graph.VertexID) (*storage.Reader, int64, error) {
+	if g.Version() != 1 {
+		return nil, 0, fmt.Errorf("dos: RangeEdgeReader reads raw v1 bytes; use Entries for a v%d graph", g.Version())
+	}
 	start, err := g.EdgeOffset(lo)
 	if err != nil {
 		return nil, 0, err
@@ -259,6 +511,19 @@ type ConvertConfig struct {
 	// longer needs it, reducing the peak device footprint (useful on
 	// capacity-limited devices).
 	RemoveInput bool
+	// Codec selects the DOS v2 block codec for the emitted edges file
+	// (storage.CodecRaw or storage.CodecVarint). Nil emits the v1
+	// format: raw fixed 4-byte entries and no offset table. A v2
+	// conversion additionally orders each vertex's adjacency by
+	// ascending new destination ID — the property the delta codec
+	// exploits — where v1 preserves the legacy ascending-original-ID
+	// order.
+	Codec storage.Codec
+	// BlockEntries overrides the v2 entries-per-block cut; 0 means
+	// storage.DefaultBlockSize/4 (one raw device block), which keeps
+	// codec blocks aligned 1:1 with selective scheduling's block-skip
+	// granularity. Ignored for v1.
+	BlockEntries int64
 }
 
 // Convert runs the paper's Section III-C pipeline: build ⟨src,dst,deg⟩
@@ -339,6 +604,13 @@ func triadKeyDegSrc(rec []byte) uint64 {
 
 func edgeKeySrc(rec []byte) uint64 {
 	return uint64(binary.LittleEndian.Uint32(rec))
+}
+
+// edgeKeySrcDst orders by (new src, new dst) — the v2 final sort, which
+// guarantees ascending destinations within each adjacency list.
+func edgeKeySrcDst(rec []byte) uint64 {
+	return uint64(binary.LittleEndian.Uint32(rec))<<32 |
+		uint64(binary.LittleEndian.Uint32(rec[4:]))
 }
 
 func edgeKeyDst(rec []byte) uint64 {
@@ -422,13 +694,30 @@ func (c *converter) run() (*Graph, error) {
 	dev.Remove(zeroPairs)
 
 	// Pass 6: sort relabeled edges by new source and strip sources;
-	// what remains is the adjacency file, grouped by new ID.
+	// what remains is the adjacency file, grouped by new ID. A v2
+	// conversion sorts by (src, dst) so each adjacency list ascends —
+	// consumers must not rely on within-list order (FORMAT.md), and the
+	// delta codec feeds on the monotone runs.
 	finalSorted := c.temp("final")
-	if err := c.sort(graph.EdgeBytes, edgeKeySrc, edges4, finalSorted); err != nil {
+	key := edgeKeySrc
+	if c.cfg.Codec != nil {
+		key = edgeKeySrcDst
+		g.codec = c.cfg.Codec
+		g.blockEntries = c.cfg.BlockEntries
+		if g.blockEntries <= 0 {
+			g.blockEntries = int64(storage.DefaultBlockSize / EntryBytes)
+		}
+	}
+	if err := c.sort(graph.EdgeBytes, key, edges4, finalSorted); err != nil {
 		return nil, fmt.Errorf("dos: final sort: %w", err)
 	}
 	dev.Remove(edges4)
-	if err := c.emitEdges(finalSorted, g); err != nil {
+	if c.cfg.Codec != nil {
+		err = c.emitEdgesV2(finalSorted, g)
+	} else {
+		err = c.emitEdges(finalSorted, g)
+	}
+	if err != nil {
 		return nil, err
 	}
 	dev.Remove(finalSorted)
@@ -442,8 +731,9 @@ func (c *converter) run() (*Graph, error) {
 // hostDegreeCapIDs bounds the host-side degree array: ID spaces up to
 // this size (1 GiB of uint32 counters) are counted in memory during
 // preprocessing, exactly as GraphChi-class sharders do; larger spaces
-// fall back to an external sort by source.
-const hostDegreeCapIDs = 1 << 28
+// fall back to an external sort by source. A variable so tests can
+// force the sorted path without a 2^28-ID graph.
+var hostDegreeCapIDs = int64(1) << 28
 
 // buildTriads emits the (src, dst, deg) triad list from the raw edges.
 func (c *converter) buildTriads(in, out string) (maxOld graph.VertexID, numEdges int64, err error) {
@@ -920,5 +1210,76 @@ func (c *converter) emitEdges(finalSorted string, g *Graph) error {
 		return fmt.Errorf("dos: emitted %d entries, expected %d", entries, g.NumEdges)
 	}
 	c.charge(entries * graph.EdgeBytes)
+	return w.Flush()
+}
+
+// emitEdgesV2 is emitEdges for the block-codec format: destinations are
+// accumulated into fixed-entry blocks, each block is encoded
+// independently and appended, and the byte offset of every block is
+// recorded for the meta file's offset table.
+func (c *converter) emitEdgesV2(finalSorted string, g *Graph) error {
+	dev := c.cfg.Dev
+	inF, err := dev.Open(finalSorted)
+	if err != nil {
+		return err
+	}
+	outF, err := dev.Create(g.EdgesFile())
+	if err != nil {
+		return err
+	}
+	r := storage.NewReader(inF)
+	w := storage.NewWriter(outF)
+
+	block := make([]uint32, 0, g.blockEntries)
+	enc := make([]byte, 0, storage.MaxEncodedLen(int(g.blockEntries)))
+	g.blockOffs = []int64{0}
+	var fileOff int64
+	flush := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		enc = g.codec.EncodeBlock(enc[:0], block)
+		if _, err := w.Write(enc); err != nil {
+			return err
+		}
+		fileOff += int64(len(enc))
+		g.blockOffs = append(g.blockOffs, fileOff)
+		block = block[:0]
+		return nil
+	}
+
+	var ebuf [graph.EdgeBytes]byte
+	var entries int64
+	var prevSrc, prevDst uint32
+	for {
+		err := r.ReadFull(ebuf[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("dos: emitting edges: %w", err)
+		}
+		src := binary.LittleEndian.Uint32(ebuf[0:])
+		dst := binary.LittleEndian.Uint32(ebuf[4:])
+		if src < prevSrc || (src == prevSrc && entries > 0 && dst < prevDst) {
+			return fmt.Errorf("dos: final edges not sorted: (%d,%d) after (%d,%d)", src, dst, prevSrc, prevDst)
+		}
+		prevSrc, prevDst = src, dst
+		block = append(block, dst)
+		if int64(len(block)) == g.blockEntries {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		entries++
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if entries != g.NumEdges {
+		return fmt.Errorf("dos: emitted %d entries, expected %d", entries, g.NumEdges)
+	}
+	// Encoding is a compute pass over every entry on top of the scan.
+	c.charge(entries * (graph.EdgeBytes + EntryBytes))
 	return w.Flush()
 }

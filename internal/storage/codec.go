@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Adjacency block codecs (DOS v2, docs/FORMAT.md §"Version 2"). An edges
+// file is cut into fixed-entry-count blocks and each block is encoded
+// independently, so a block can be fetched and decoded without touching
+// its neighbors — the unit of Sio prefetch and of selective block
+// scheduling. Two codecs exist: raw little-endian u32 (byte-compatible
+// with a v1 block's content) and delta+varint, which exploits the v2
+// guarantee that destinations within one vertex's adjacency ascend.
+
+// Codec encodes and decodes one adjacency block of destination IDs.
+// Implementations must be stateless and safe for concurrent use.
+type Codec interface {
+	// Name is the codec's stable CLI/config name.
+	Name() string
+	// ID is the codec's stable on-disk identifier.
+	ID() byte
+	// EncodeBlock appends the encoding of entries to dst and returns the
+	// extended slice.
+	EncodeBlock(dst []byte, entries []uint32) []byte
+	// DecodeBlock appends the block's decoded entries to dst and returns
+	// the extended slice. Corrupt input yields a *CodecError (matching
+	// ErrCorruptBlock via errors.Is), never a panic; the number of
+	// decoded entries is bounded by len(src).
+	DecodeBlock(dst []uint32, src []byte) ([]uint32, error)
+}
+
+// Codec IDs as stored in the v2 meta file.
+const (
+	CodecIDRaw    = byte(0)
+	CodecIDVarint = byte(1)
+)
+
+// CodecRaw stores each entry as a little-endian u32 — the fallback for
+// graphs whose destination distribution defeats delta+varint.
+var CodecRaw Codec = rawCodec{}
+
+// CodecVarint stores zigzag(entry - previous entry) as a varint, with the
+// previous entry starting at 0 for each block. Within one vertex's
+// adjacency the v2 format guarantees ascending destinations, so deltas are
+// small and non-negative; the signed zigzag absorbs the backward jump at
+// each adjacency-list boundary.
+var CodecVarint Codec = varintCodec{}
+
+// ErrCorruptBlock is the sentinel matched (via errors.Is) by every decode
+// failure on malformed block bytes.
+var ErrCorruptBlock = errors.New("storage: corrupt codec block")
+
+// CodecError reports a block decode failure and where in the block it was
+// detected.
+type CodecError struct {
+	Codec  string // codec name
+	Offset int    // byte offset within the encoded block
+	Msg    string
+}
+
+func (e *CodecError) Error() string {
+	return fmt.Sprintf("storage: %s block corrupt at byte %d: %s", e.Codec, e.Offset, e.Msg)
+}
+
+func (e *CodecError) Is(target error) bool { return target == ErrCorruptBlock }
+
+// maxVarintBytesU32 bounds the varint encoding of one entry: a zigzagged
+// u32 delta spans at most 33 bits, i.e. five varint bytes.
+const maxVarintBytesU32 = 5
+
+// MaxEncodedLen returns the worst-case encoded size of a block of n
+// entries under any registered codec — a sizing hint for encode buffers.
+func MaxEncodedLen(n int) int { return n * maxVarintBytesU32 }
+
+type rawCodec struct{}
+
+func (rawCodec) Name() string { return "raw" }
+func (rawCodec) ID() byte     { return CodecIDRaw }
+
+func (rawCodec) EncodeBlock(dst []byte, entries []uint32) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, 4*len(entries))...)
+	for i, v := range entries {
+		binary.LittleEndian.PutUint32(dst[off+4*i:], v)
+	}
+	return dst
+}
+
+func (rawCodec) DecodeBlock(dst []uint32, src []byte) ([]uint32, error) {
+	if len(src)%4 != 0 {
+		return dst, &CodecError{Codec: "raw", Offset: len(src) - len(src)%4,
+			Msg: fmt.Sprintf("%d trailing bytes, entries are 4 bytes", len(src)%4)}
+	}
+	for i := 0; i+4 <= len(src); i += 4 {
+		dst = append(dst, binary.LittleEndian.Uint32(src[i:]))
+	}
+	return dst, nil
+}
+
+type varintCodec struct{}
+
+func (varintCodec) Name() string { return "varint" }
+func (varintCodec) ID() byte     { return CodecIDVarint }
+
+func (varintCodec) EncodeBlock(dst []byte, entries []uint32) []byte {
+	var buf [maxVarintBytesU32]byte
+	prev := int64(0)
+	for _, v := range entries {
+		d := int64(v) - prev
+		zz := uint64(d<<1) ^ uint64(d>>63) // zigzag: signed delta to unsigned
+		n := binary.PutUvarint(buf[:], zz)
+		dst = append(dst, buf[:n]...)
+		prev = int64(v)
+	}
+	return dst
+}
+
+func (varintCodec) DecodeBlock(dst []uint32, src []byte) ([]uint32, error) {
+	prev := int64(0)
+	for off := 0; off < len(src); {
+		zz, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			msg := "truncated varint"
+			if n < 0 {
+				msg = "varint overflows 64 bits"
+			}
+			return dst, &CodecError{Codec: "varint", Offset: off, Msg: msg}
+		}
+		d := int64(zz>>1) ^ -int64(zz&1) // un-zigzag
+		v := prev + d
+		if v < 0 || v > int64(^uint32(0)) {
+			return dst, &CodecError{Codec: "varint", Offset: off,
+				Msg: fmt.Sprintf("delta %d from %d leaves the u32 range", d, prev)}
+		}
+		dst = append(dst, uint32(v))
+		prev = v
+		off += n
+	}
+	return dst, nil
+}
+
+// codecs registers every codec by ID order.
+var codecs = []Codec{CodecRaw, CodecVarint}
+
+// CodecByID resolves an on-disk codec identifier.
+func CodecByID(id byte) (Codec, error) {
+	for _, c := range codecs {
+		if c.ID() == id {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: unknown codec id %d", id)
+}
+
+// CodecByName resolves a CLI/config codec name.
+func CodecByName(name string) (Codec, error) {
+	for _, c := range codecs {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: unknown codec %q (have %v)", name, CodecNames())
+}
+
+// CodecNames lists the registered codec names in ID order.
+func CodecNames() []string {
+	out := make([]string, len(codecs))
+	for i, c := range codecs {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// BlockLayout describes how a file of adjacency entries is addressed on a
+// device: the codec, the fixed entries-per-block cut, the total entry
+// count, and — for block-encoded files — the byte offset of every block.
+// It is the single translation point between the engine's entry-offset
+// arithmetic (which compression must not disturb) and byte extents on the
+// device.
+type BlockLayout struct {
+	Codec        Codec
+	BlockEntries int64
+	NumEntries   int64
+	// BlockOffs[b] is the byte offset of block b's first encoded byte;
+	// the final element is the file size, so block b occupies
+	// [BlockOffs[b], BlockOffs[b+1]). Nil means fixed 4-byte entries
+	// addressed arithmetically (the v1 / CSR layout).
+	BlockOffs []int64
+}
+
+// RawBlockLayout describes a v1-style file of fixed 4-byte entries; the
+// block cut is the device block, matching selective scheduling's
+// granularity.
+func RawBlockLayout(numEntries int64) BlockLayout {
+	return BlockLayout{
+		Codec:        CodecRaw,
+		BlockEntries: int64(DefaultBlockSize / 4),
+		NumEntries:   numEntries,
+	}
+}
+
+// FixedEntries reports whether entry offsets map to byte offsets
+// arithmetically (offset*4), i.e. no per-block decode is needed.
+func (l BlockLayout) FixedEntries() bool { return l.BlockOffs == nil }
+
+// NumBlocks returns how many encoded blocks the file holds.
+func (l BlockLayout) NumBlocks() int64 {
+	if l.BlockEntries <= 0 {
+		return 0
+	}
+	return (l.NumEntries + l.BlockEntries - 1) / l.BlockEntries
+}
+
+// BlockRange returns the byte extent [lo, hi) of block b.
+func (l BlockLayout) BlockRange(b int64) (lo, hi int64) {
+	if l.BlockOffs == nil {
+		return b * l.BlockEntries * 4, min64((b+1)*l.BlockEntries, l.NumEntries) * 4
+	}
+	return l.BlockOffs[b], l.BlockOffs[b+1]
+}
+
+// EntriesIn returns how many entries block b holds (only the final block
+// may be short).
+func (l BlockLayout) EntriesIn(b int64) int64 {
+	return min64((b+1)*l.BlockEntries, l.NumEntries) - b*l.BlockEntries
+}
+
+// TableBytes returns the resident size of the per-block offset table.
+func (l BlockLayout) TableBytes() int64 { return int64(len(l.BlockOffs)) * 8 }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, c Codec, entries []uint32) {
+	t.Helper()
+	enc := c.EncodeBlock(nil, entries)
+	dec, err := c.DecodeBlock(nil, enc)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", c.Name(), err)
+	}
+	if len(dec) != len(entries) {
+		t.Fatalf("%s: decoded %d entries, want %d", c.Name(), len(dec), len(entries))
+	}
+	for i := range dec {
+		if dec[i] != entries[i] {
+			t.Fatalf("%s: entry %d = %d, want %d", c.Name(), i, dec[i], entries[i])
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := [][]uint32{
+		nil,
+		{0},
+		{math.MaxUint32},
+		{0, math.MaxUint32, 0, math.MaxUint32},
+		{5, 5, 5, 5},
+		{1, 2, 3, 1000, 1001, 7, 8, 9}, // ascending runs with a backward jump
+	}
+	for _, c := range codecs {
+		for _, entries := range cases {
+			roundTrip(t, c, entries)
+		}
+	}
+}
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	for _, c := range codecs {
+		c := c
+		check := func(entries []uint32) bool {
+			enc := c.EncodeBlock(nil, entries)
+			dec, err := c.DecodeBlock(nil, enc)
+			if err != nil || len(dec) != len(entries) {
+				return false
+			}
+			for i := range dec {
+				if dec[i] != entries[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestCodecAppendsToDst(t *testing.T) {
+	for _, c := range codecs {
+		enc := c.EncodeBlock([]byte{0xab}, []uint32{1, 2, 3})
+		if enc[0] != 0xab {
+			t.Fatalf("%s: EncodeBlock clobbered the prefix", c.Name())
+		}
+		dec, err := c.DecodeBlock([]uint32{99}, enc[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec[0] != 99 || len(dec) != 4 {
+			t.Fatalf("%s: DecodeBlock did not append: %v", c.Name(), dec)
+		}
+	}
+}
+
+func TestCodecVarintCompressesAscendingRuns(t *testing.T) {
+	// The v2 invariant: ascending destinations within each adjacency.
+	entries := make([]uint32, 4096)
+	for i := range entries {
+		entries[i] = uint32(i / 4) // slowly ascending, many zero deltas
+	}
+	raw := CodecRaw.EncodeBlock(nil, entries)
+	vv := CodecVarint.EncodeBlock(nil, entries)
+	if len(vv)*2 > len(raw) {
+		t.Fatalf("varint %d bytes vs raw %d: expected at least 2x on ascending data", len(vv), len(raw))
+	}
+}
+
+func TestCodecDecodeCorrupt(t *testing.T) {
+	cases := []struct {
+		name  string
+		codec Codec
+		src   []byte
+	}{
+		{"raw trailing bytes", CodecRaw, []byte{1, 2, 3}},
+		{"varint truncated", CodecVarint, []byte{0x80}},
+		{"varint truncated tail", CodecVarint, CodecVarint.EncodeBlock(nil, []uint32{100000})[:1]},
+		{"varint 64-bit overflow", CodecVarint, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}},
+		{"varint leaves u32 range", CodecVarint, CodecVarint.EncodeBlock(CodecVarint.EncodeBlock(nil, []uint32{math.MaxUint32}), []uint32{math.MaxUint32})},
+	}
+	for _, tc := range cases {
+		_, err := tc.codec.DecodeBlock(nil, tc.src)
+		if err == nil {
+			t.Errorf("%s: decode accepted corrupt input", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrCorruptBlock) {
+			t.Errorf("%s: error %v does not match ErrCorruptBlock", tc.name, err)
+		}
+		var ce *CodecError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %T is not a *CodecError", tc.name, err)
+		}
+	}
+}
+
+func TestCodecDecodeArbitraryNeverPanics(t *testing.T) {
+	for _, c := range codecs {
+		c := c
+		check := func(src []byte) bool {
+			dec, err := c.DecodeBlock(nil, src)
+			// Decoded count is bounded by the input size.
+			return err != nil || len(dec) <= len(src)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestCodecRegistry(t *testing.T) {
+	for _, c := range codecs {
+		byID, err := CodecByID(c.ID())
+		if err != nil || byID.Name() != c.Name() {
+			t.Errorf("CodecByID(%d) = %v, %v", c.ID(), byID, err)
+		}
+		byName, err := CodecByName(c.Name())
+		if err != nil || byName.ID() != c.ID() {
+			t.Errorf("CodecByName(%q) = %v, %v", c.Name(), byName, err)
+		}
+	}
+	if _, err := CodecByID(250); err == nil {
+		t.Error("CodecByID(250) succeeded")
+	}
+	if _, err := CodecByName("nope"); err == nil {
+		t.Error(`CodecByName("nope") succeeded`)
+	}
+}
+
+func TestBlockLayoutArithmetic(t *testing.T) {
+	raw := RawBlockLayout(100)
+	if !raw.FixedEntries() || raw.NumBlocks() != 1 {
+		t.Fatalf("raw layout: fixed=%v blocks=%d", raw.FixedEntries(), raw.NumBlocks())
+	}
+	lo, hi := raw.BlockRange(0)
+	if lo != 0 || hi != 400 {
+		t.Fatalf("raw block 0 extent [%d,%d)", lo, hi)
+	}
+
+	l := BlockLayout{
+		Codec:        CodecVarint,
+		BlockEntries: 8,
+		NumEntries:   20,
+		BlockOffs:    []int64{0, 11, 25, 31},
+	}
+	if l.NumBlocks() != 3 {
+		t.Fatalf("NumBlocks = %d, want 3", l.NumBlocks())
+	}
+	if got := l.EntriesIn(0); got != 8 {
+		t.Fatalf("EntriesIn(0) = %d", got)
+	}
+	if got := l.EntriesIn(2); got != 4 {
+		t.Fatalf("EntriesIn(2) = %d, want the short tail 4", got)
+	}
+	if lo, hi := l.BlockRange(1); lo != 11 || hi != 25 {
+		t.Fatalf("block 1 extent [%d,%d)", lo, hi)
+	}
+	if l.TableBytes() != 32 {
+		t.Fatalf("TableBytes = %d", l.TableBytes())
+	}
+}
+
+// benchEntries builds a power-law-ish ascending-run workload: the shape
+// the varint codec sees on a converted DOS v2 graph.
+func benchEntries(n int) []uint32 {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]uint32, n)
+	v := uint32(0)
+	for i := range out {
+		if rng.Intn(64) == 0 {
+			v = uint32(rng.Intn(1 << 10)) // new adjacency list, small head ID
+		} else {
+			v += uint32(rng.Intn(8))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	entries := benchEntries(DefaultBlockSize / 4)
+	for _, c := range codecs {
+		c := c
+		b.Run(c.Name(), func(b *testing.B) {
+			buf := make([]byte, 0, MaxEncodedLen(len(entries)))
+			b.SetBytes(int64(4 * len(entries)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = c.EncodeBlock(buf[:0], entries)
+			}
+		})
+	}
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	entries := benchEntries(DefaultBlockSize / 4)
+	for _, c := range codecs {
+		c := c
+		enc := c.EncodeBlock(nil, entries)
+		b.Run(c.Name(), func(b *testing.B) {
+			dec := make([]uint32, 0, len(entries))
+			b.SetBytes(int64(4 * len(entries)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				dec, err = c.DecodeBlock(dec[:0], enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
