@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench bench-json benchdiff cover smoke fuzz-short
+.PHONY: build test check fmt vet race bench bench-json benchdiff cover smoke fuzz-short run-report
 
 build:
 	$(GO) build ./...
@@ -38,10 +38,23 @@ cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# smoke runs the randomized crash-recovery property tests: engines killed
-# at random device operations must resume to byte-identical results.
+# smoke runs the randomized crash-recovery property tests (engines killed
+# at random device operations must resume to byte-identical results) and
+# a run-report round trip: a profiled run writes its artifact, and
+# graphz-report must render and self-diff it cleanly.
 smoke:
 	$(GO) test -run 'TestCrashRecovery' -count=1 -v ./internal/core/
+	$(GO) run ./cmd/graphz-run -gen rmat -gen-scale 8 -gen-edges 2000 -seed 7 -algo cc -report RUNREPORT_smoke.json
+	$(GO) run ./cmd/graphz-report show RUNREPORT_smoke.json
+	$(GO) run ./cmd/graphz-report diff RUNREPORT_smoke.json RUNREPORT_smoke.json
+
+# run-report emits the reference profiled run's artifact (stage totals,
+# memory timeline, block heatmap) for the CI bench job to upload next to
+# the benchmark snapshot. Inspect with `graphz-report show`, compare two
+# revisions with `graphz-report diff`.
+run-report:
+	$(GO) run ./cmd/graphz-run -gen rmat -gen-scale 10 -gen-edges 8192 -seed 7 -algo pr -report RUNREPORT_run.json
+	$(GO) run ./cmd/graphz-report show RUNREPORT_run.json
 
 # fuzz-short gives each DOS parser fuzz target a small budget — the CI
 # smoke setting. The checked-in seed corpus under internal/dos/testdata

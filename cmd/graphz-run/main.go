@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -53,6 +54,7 @@ func main() {
 		top     = flag.Int("top", 5, "print the top-N result vertices")
 		maddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this address while the run is live (e.g. :8080, or :0 for a free port)")
 		traceTo = flag.String("trace", "", "write one JSONL span per (iteration, partition, stage) to this file")
+		repTo   = flag.String("report", "", "write the run-report JSON artifact (stage totals, memory timeline, block heatmap; analyze with graphz-report) to this file")
 		ckDir   = flag.String("checkpoint-dir", "", "graphz: write iteration-boundary checkpoints to this host directory (see docs/DURABILITY.md)")
 		ckEvery = flag.Int("checkpoint-every", 1, "graphz: checkpoint after every Nth iteration (with -checkpoint-dir)")
 		ckKeep  = flag.Int("checkpoint-keep", 2, "graphz: checkpoints to retain (with -checkpoint-dir)")
@@ -124,14 +126,24 @@ func main() {
 
 	// Observability: the registry always collects (it also feeds the
 	// post-run reports); a tracer and a live endpoint only on request.
+	// -report needs the spans in memory, so it upgrades the tracer to a
+	// collecting one (with -trace's file as the sink when both are set).
 	reg := obs.NewRegistry()
 	var tracer *obs.Tracer
-	if *traceTo != "" {
-		f, err := os.Create(*traceTo)
-		if err != nil {
-			fatal(err)
+	if *traceTo != "" || *repTo != "" {
+		var sink io.Writer
+		if *traceTo != "" {
+			f, err := os.Create(*traceTo)
+			if err != nil {
+				fatal(err)
+			}
+			sink = f
 		}
-		tracer = obs.NewTracer(f)
+		if *repTo != "" {
+			tracer = obs.NewCollectingTracer(sink)
+		} else {
+			tracer = obs.NewTracer(sink)
+		}
 	}
 	if *maddr != "" {
 		srv, err := obs.StartMetricsServer(*maddr, reg)
@@ -192,13 +204,45 @@ func main() {
 			fmt.Println("    " + line)
 		}
 	}
-	if tracer != nil {
-		if err := tracer.Close(); err != nil {
+	// The report is written before the trace teardown: a broken trace
+	// sink must not lose the report (the collecting tracer keeps its
+	// spans in memory regardless).
+	if *repTo != "" {
+		report := obs.BuildReport(obs.ReportInfo{
+			Engine:      *engine,
+			Algo:        *algo,
+			Device:      kind.String(),
+			BudgetBytes: *budget,
+			Config: map[string]string{
+				"input":     inputName,
+				"workers":   fmt.Sprint(*workers),
+				"selective": fmt.Sprint(*sel),
+			},
+		}, reg, tracer, core.DeviceFileIO(dev))
+		if err := report.WriteFile(*repTo); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("  trace:        %d spans -> %s\n", tracer.Spans(), *traceTo)
+		fmt.Printf("  report:       %s (inspect with graphz-report show %s)\n", *repTo, *repTo)
+	}
+	traceBroken := false
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			// Surface the damage but finish the summary: the run itself
+			// succeeded, only the trace output is incomplete.
+			fmt.Fprintf(os.Stderr, "graphz-run: trace output failed: %v\n", err)
+			traceBroken = true
+		} else if *traceTo != "" {
+			fmt.Printf("  trace:        %d spans -> %s\n", tracer.Spans(), *traceTo)
+		}
+		if n := tracer.Dropped(); n > 0 && !traceBroken {
+			fmt.Fprintf(os.Stderr, "graphz-run: trace output incomplete: %d spans dropped\n", n)
+			traceBroken = true
+		}
 	}
 	printTop(values, *top)
+	if traceBroken {
+		os.Exit(1)
+	}
 }
 
 // importDOS copies graphz-convert's exported files onto the device under

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"graphz/internal/obs"
 	"graphz/internal/storage"
 )
 
@@ -289,5 +290,45 @@ func TestRunCodec(t *testing.T) {
 	table := TableCodec(Small, storage.SSD, Mem8)
 	if !strings.Contains(table, "Adjacency codecs") || !strings.Contains(table, "v2 varint") {
 		t.Fatalf("codec table malformed:\n%s", table)
+	}
+}
+
+func TestRunEmitsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the harness end to end")
+	}
+	for _, e := range []Engine{GraphZ, GraphChi, XStream} {
+		o := Run(RunConfig{Scale: Small, Algo: BFS, Engine: e, Kind: storage.SSD, Budget: Mem8})
+		if o.Failed() {
+			t.Fatalf("%s failed: %v", e, o.Err)
+		}
+		if o.Report == nil {
+			t.Fatalf("%s: successful run carries no report", e)
+		}
+		if o.Report.Schema != obs.ReportSchemaVersion {
+			t.Errorf("%s: report schema = %d", e, o.Report.Schema)
+		}
+		if len(o.Report.Stages) == 0 || len(o.Report.Files) == 0 {
+			t.Errorf("%s: report missing spans or file IO: %d stages, %d files",
+				e, len(o.Report.Stages), len(o.Report.Files))
+		}
+		// The report round-trips through its wire format.
+		data, err := o.Report.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obs.ParseReport(data); err != nil {
+			t.Errorf("%s: report does not round-trip: %v", e, err)
+		}
+	}
+	// GraphZ reports carry the memory-accounting timeline and block heat.
+	o := Run(RunConfig{Scale: Small, Algo: BFS, Engine: GraphZ, Kind: storage.SSD, Budget: Mem8})
+	if len(o.Report.Memory) != o.Iterations || len(o.Report.Blocks) == 0 {
+		t.Errorf("graphz report sections: %d memory samples (want %d), %d blocks",
+			len(o.Report.Memory), o.Iterations, len(o.Report.Blocks))
+	}
+	// Failed runs carry none.
+	if f := Run(RunConfig{Scale: XLarge, Algo: PR, Engine: GraphChi, Kind: storage.SSD, Budget: Mem8}); f.Report != nil {
+		t.Error("failed run carries a report")
 	}
 }

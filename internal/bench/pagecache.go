@@ -76,13 +76,14 @@ func runWithPageCache(s Scale, a Algo, e Engine, kind storage.Kind, budget int64
 	dev.SetClock(clock)
 	out := Outcome{Config: RunConfig{Scale: s, Algo: a, Engine: e, Kind: kind, Budget: budget}}
 	reg := obs.NewRegistry()
+	tr := obs.NewCollectingTracer(nil)
 	switch e {
 	case GraphChi:
-		err = runGraphChi(out.Config, dev, clock, reg, &out)
+		err = runGraphChi(out.Config, dev, clock, reg, tr, &out)
 	case XStream:
-		err = runXStream(out.Config, dev, clock, reg, &out)
+		err = runXStream(out.Config, dev, clock, reg, tr, &out)
 	default:
-		err = runGraphZ(out.Config, dev, clock, reg, &out)
+		err = runGraphZ(out.Config, dev, clock, reg, tr, &out)
 	}
 	if err != nil {
 		return 0, 0

@@ -126,6 +126,11 @@ type Outcome struct {
 	CodecBytesRaw     int64
 	CodecBytesEncoded int64
 	DecodeTime        time.Duration
+	// Report is the run's full profiling artifact — stage spans, per-
+	// iteration snapshots, memory timeline, block heatmap, per-file IO —
+	// built from the same registry the scalar fields above summarize.
+	// Nil on failed runs.
+	Report *obs.RunReport
 }
 
 // Failed reports whether the run could not execute (index too large,
@@ -231,14 +236,15 @@ func runLocked(cfg RunConfig) Outcome {
 	defer dev.SetClock(nil)
 
 	reg := obs.NewRegistry()
+	tr := obs.NewCollectingTracer(nil) // in-memory spans for the run report
 	var err error
 	switch cfg.Engine {
 	case GraphZ, GraphZNoDOS, GraphZNoDOSNoDM:
-		err = runGraphZ(cfg, dev, clock, reg, &out)
+		err = runGraphZ(cfg, dev, clock, reg, tr, &out)
 	case GraphChi:
-		err = runGraphChi(cfg, dev, clock, reg, &out)
+		err = runGraphChi(cfg, dev, clock, reg, tr, &out)
 	case XStream:
-		err = runXStream(cfg, dev, clock, reg, &out)
+		err = runXStream(cfg, dev, clock, reg, tr, &out)
 	default:
 		err = fmt.Errorf("bench: unknown engine %q", cfg.Engine)
 	}
@@ -251,12 +257,24 @@ func runLocked(cfg RunConfig) Outcome {
 	out.IO = clock.TotalIO()
 	out.Stats = dev.Stats()
 	out.Energy = energy.Measure(clock, cfg.Kind)
+	out.Report = obs.BuildReport(obs.ReportInfo{
+		Engine:      string(cfg.Engine),
+		Algo:        string(cfg.Algo),
+		Device:      cfg.Kind.String(),
+		BudgetBytes: cfg.Budget,
+		Config: map[string]string{
+			"scale":     cfg.Scale.Name,
+			"workers":   fmt.Sprint(cfg.Workers),
+			"selective": fmt.Sprint(cfg.Selective),
+			"codec":     cfg.Codec,
+		},
+	}, reg, tr, core.DeviceFileIO(dev))
 	return out
 }
 
 // runGraphZ dispatches the six algorithms on the core engine over the
 // configured layout and message mode.
-func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, out *Outcome) error {
+func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tr *obs.Tracer, out *Outcome) error {
 	var layout core.Layout
 	switch cfg.Engine {
 	case GraphZ:
@@ -280,6 +298,7 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 		WorkerParallelism:   cfg.Workers,
 		SelectiveScheduling: cfg.Selective,
 		Obs:                 reg,
+		Trace:               tr,
 	}
 	if cfg.CheckpointEvery > 0 {
 		ckdir, err := os.MkdirTemp("", "graphz-bench-ckpt-")
@@ -336,13 +355,13 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 }
 
 // runGraphChi dispatches the six algorithms on the PSW baseline.
-func runGraphChi(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, out *Outcome) error {
+func runGraphChi(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tr *obs.Tracer, out *Outcome) error {
 	sh, err := graphchi.LoadShards(dev, Prefix)
 	if err != nil {
 		return err
 	}
 	out.IndexBytes = sh.IndexBytes()
-	opts := graphchi.Options{MemoryBudget: cfg.Budget, Clock: clock, Obs: reg}
+	opts := graphchi.Options{MemoryBudget: cfg.Budget, Clock: clock, Obs: reg, Trace: tr}
 	source := sourceFor(cfg.Scale)
 
 	var res graphchi.Result
@@ -374,13 +393,13 @@ func runGraphChi(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.
 }
 
 // runXStream dispatches the six algorithms on the edge-centric baseline.
-func runXStream(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, out *Outcome) error {
+func runXStream(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tr *obs.Tracer, out *Outcome) error {
 	pt, err := xstream.LoadPartitioned(dev, Prefix)
 	if err != nil {
 		return err
 	}
 	out.IndexBytes = 0 // the model's selling point: no vertex index
-	opts := xstream.Options{MemoryBudget: cfg.Budget, Clock: clock, Obs: reg}
+	opts := xstream.Options{MemoryBudget: cfg.Budget, Clock: clock, Obs: reg, Trace: tr}
 	source := sourceFor(cfg.Scale)
 
 	var res xstream.Result

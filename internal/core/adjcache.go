@@ -98,6 +98,7 @@ func (e *Engine[V, M]) ensureAdjCached(p int, start, end int64, ps *pipeStats) e
 			if err := r.ReadFull(data); err != nil {
 				return fmt.Errorf("core: caching adjacency of partition %d: %w", p, err)
 			}
+			ps.heatRead(start, end-start)
 		}
 	} else {
 		var err error

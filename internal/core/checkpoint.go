@@ -8,6 +8,7 @@ import (
 
 	"graphz/internal/checkpoint"
 	"graphz/internal/graph"
+	"graphz/internal/obs"
 	"graphz/internal/storage"
 )
 
@@ -174,6 +175,10 @@ func (e *Engine[V, M]) writeCheckpoint(iters int, done bool) error {
 	e.eo.ckptBytes.Add(n)
 	e.eo.ckptNS.Add(int64(d))
 	e.eo.ckptHist.Observe(d)
+	// The span carries the same duration the graphz_checkpoint_ns_total
+	// counter accumulated, so report stage totals reconcile exactly.
+	// Checkpoints cover the whole iteration boundary: part is -1.
+	e.eo.tr.Emit(engineName, obs.StageCheckpoint, iters, -1, start, d)
 	return nil
 }
 
@@ -314,6 +319,7 @@ func (e *Engine[V, M]) resume() (Result, error) {
 	d := time.Since(start)
 	e.eo.restores.Inc()
 	e.eo.restoreNS.Add(int64(d))
+	e.eo.tr.Emit(engineName, obs.StageRestore, m.Iteration, -1, start, d)
 	if m.Converged {
 		// The checkpointed run already finished; nothing to iterate.
 		e.finished = true

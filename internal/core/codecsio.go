@@ -117,6 +117,7 @@ func newCodecEntryStream(dev *storage.Device, adj storage.BlockLayout, file stri
 				}
 				if met != nil {
 					met.blocks.Add(1)
+					met.heatReadBlock(b, hi-lo)
 				}
 				select {
 				case s.blocks <- sioBlock{data: buf, idx: b}:
@@ -177,10 +178,12 @@ func (s *codecEntryStream) recvDecode(b int64) error {
 	t0 := time.Now()
 	dec, err := s.adj.Codec.DecodeBlock(s.dec[:0], blk.data)
 	if s.met != nil {
-		s.met.decodeNS.Add(int64(time.Since(t0)))
-		s.met.dispatchNS.Add(int64(time.Since(t0)))
+		ns := int64(time.Since(t0))
+		s.met.decodeNS.Add(ns)
+		s.met.dispatchNS.Add(ns)
 		s.met.codecEncB.Add(int64(len(blk.data)))
 		s.met.codecRawB.Add(int64(len(dec)) * 4)
+		s.met.heatDecode(b, ns)
 	}
 	codecBlockPool.Put(blk.data)
 	if err != nil {
@@ -241,12 +244,15 @@ func decodeEntryRange(dev *storage.Device, adj storage.BlockLayout, file string,
 			codecBlockPool.Put(buf)
 			return nil, fmt.Errorf("core: reading encoded block %d at byte %d: %w", b, lo, err)
 		}
+		ps.heatReadBlock(b, hi-lo)
 		t0 := time.Now()
 		dec, err = adj.Codec.DecodeBlock(dec[:0], buf)
 		if ps != nil {
-			ps.decodeNS.Add(int64(time.Since(t0)))
+			ns := int64(time.Since(t0))
+			ps.decodeNS.Add(ns)
 			ps.codecEncB.Add(int64(len(buf)))
 			ps.codecRawB.Add(int64(len(dec)) * 4)
+			ps.heatDecode(b, ns)
 		}
 		codecBlockPool.Put(buf)
 		if err != nil {

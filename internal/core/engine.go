@@ -485,6 +485,7 @@ func (e *Engine[V, M]) loop(startIter int) (Result, error) {
 			row.DeviceWriteBytes = devNow.WriteBytes - devBefore.WriteBytes
 			row.DeviceSeeks = devNow.Seeks - devBefore.Seeks
 			e.eo.reg.RecordIter(*row)
+			e.sampleMemory(iters)
 		}
 		iters++
 		// Done on MaxIterations, or converged: nothing changed, nothing
@@ -584,6 +585,9 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 		}
 		if pend == 0 && !e.sel.anyInRange(lo, hi) {
 			e.accountSelective(selSchedule{blocksTotal: blocksIn(start, end, e.adj.BlockEntries)}, row)
+			// A whole-partition skip schedules no runs: every block of the
+			// partition's entry range is a skip cell.
+			e.heatSelective(selSchedule{}, start, end)
 			e.eo.partsSkipped.Inc()
 			return nil
 		}
@@ -615,6 +619,7 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 	if e.sel != nil {
 		sched = e.planPartition(lo, hi, start)
 		e.accountSelective(sched, row)
+		e.heatSelective(sched, start, end)
 		selSparse = !sched.streamAll
 	}
 
@@ -623,7 +628,7 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 	var ps *pipeStats
 	var partStart time.Time
 	if e.eo.on {
-		ps = &pipeStats{}
+		ps = e.newPipeStats()
 		partStart = time.Now()
 	}
 	parallel := !selSparse && e.workerCount() > 1 && count > 1
@@ -998,6 +1003,13 @@ func (e *Engine[V, M]) drainMessages(p int, lo graph.VertexID) error {
 	if f.Size()%int64(rec) != 0 {
 		return fmt.Errorf("core: message file %q torn (%d bytes, record %d)", e.msgFile(p), f.Size(), rec)
 	}
+	// Drain fan-in attribution: accumulate per vstate block locally and
+	// fold into the heatmap once per drain, keeping the per-record cost
+	// to one map increment.
+	var heatAcc map[int64]int64
+	if e.eo.heat != nil {
+		heatAcc = make(map[int64]int64)
+	}
 	r := storage.NewReader(f)
 	buf := make([]byte, rec)
 	for {
@@ -1008,22 +1020,31 @@ func (e *Engine[V, M]) drainMessages(p int, lo graph.VertexID) error {
 		if err != nil {
 			return fmt.Errorf("core: draining messages for partition %d: %w", p, err)
 		}
-		e.applyRecord(buf, lo)
+		dst := e.applyRecord(buf, lo)
+		if heatAcc != nil {
+			heatAcc[e.vstateBlock(dst)]++
+		}
 	}
 	if err := f.Truncate(0); err != nil {
 		return err
 	}
 	mem := e.msgBufs[p]
 	for off := 0; off+rec <= len(mem); off += rec {
-		e.applyRecord(mem[off:off+rec], lo)
+		dst := e.applyRecord(mem[off:off+rec], lo)
+		if heatAcc != nil {
+			heatAcc[e.vstateBlock(dst)]++
+		}
 	}
 	if mem != nil {
 		e.msgBufs[p] = mem[:0]
 	}
+	if len(heatAcc) > 0 {
+		e.flushDrainHeat(heatAcc)
+	}
 	return nil
 }
 
-func (e *Engine[V, M]) applyRecord(rec []byte, lo graph.VertexID) {
+func (e *Engine[V, M]) applyRecord(rec []byte, lo graph.VertexID) graph.VertexID {
 	dst := graph.VertexID(binary.LittleEndian.Uint32(rec))
 	m := e.mcodec.Decode(rec[4:])
 	e.prog.Apply(&e.verts[dst-lo], m)
@@ -1033,6 +1054,7 @@ func (e *Engine[V, M]) applyRecord(rec []byte, lo graph.VertexID) {
 		// A delivered message makes the destination schedulable.
 		e.sel.set(dst)
 	}
+	return dst
 }
 
 // Values reads the final vertex states (by layout ID) after Run.

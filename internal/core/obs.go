@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphz/internal/graph"
 	"graphz/internal/obs"
 	"graphz/internal/storage"
 )
@@ -16,9 +17,10 @@ const engineName = "graphz"
 // `on` gates the timing code (time.Now calls, per-iteration rows) that
 // would otherwise cost even with no sink attached.
 type engineObs struct {
-	on  bool
-	reg *obs.Registry
-	tr  *obs.Tracer
+	on   bool
+	reg  *obs.Registry
+	tr   *obs.Tracer
+	heat *obs.BlockHeatmap // block-level IO attribution (nil-safe)
 
 	inline    *obs.Counter // messages applied immediately (ordered dynamic)
 	buffered  *obs.Counter // messages queued for a non-resident destination
@@ -73,9 +75,10 @@ type engineObs struct {
 
 func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
 	return engineObs{
-		on:  reg != nil || tr != nil,
-		reg: reg,
-		tr:  tr,
+		on:   reg != nil || tr != nil,
+		reg:  reg,
+		tr:   tr,
+		heat: reg.Heatmap(),
 
 		inline:    reg.Counter("graphz_messages_inline_total"),
 		buffered:  reg.Counter("graphz_messages_buffered_total"),
@@ -142,6 +145,50 @@ type pipeStats struct {
 
 	fillNS   int64 // engine goroutine: adjacency-cache first-fill read time
 	cacheHit bool  // partition served from the resident cache
+
+	// Block-heat attribution, set once at construction and read by the
+	// producer goroutines (the heatmap itself is mutex-guarded). heatBE
+	// is the edges file's entries-per-block; nil heat disables it all.
+	heat     *obs.BlockHeatmap
+	heatFile string
+	heatBE   int64
+}
+
+// heatRead attributes one prefetcher read of adjacency entries
+// [off, off+n) to the absolute entry blocks it overlaps, splitting the
+// byte count by overlap. Safe on a nil receiver or nil heatmap.
+func (ps *pipeStats) heatRead(off, n int64) {
+	if ps == nil || ps.heat == nil || n <= 0 || ps.heatBE <= 0 {
+		return
+	}
+	for b := off / ps.heatBE; b <= (off+n-1)/ps.heatBE; b++ {
+		lo, hi := b*ps.heatBE, (b+1)*ps.heatBE
+		if off > lo {
+			lo = off
+		}
+		if off+n < hi {
+			hi = off + n
+		}
+		ps.heat.AddRead(ps.heatFile, b, (hi-lo)*4)
+	}
+}
+
+// heatReadBlock attributes one encoded-block read of `bytes` bytes to
+// entry block b (the codec prefetcher knows its block index directly).
+func (ps *pipeStats) heatReadBlock(b, bytes int64) {
+	if ps == nil || ps.heat == nil {
+		return
+	}
+	ps.heat.AddRead(ps.heatFile, b, bytes)
+}
+
+// heatDecode attributes ns nanoseconds of codec decode time to entry
+// block b.
+func (ps *pipeStats) heatDecode(b, ns int64) {
+	if ps == nil || ps.heat == nil {
+		return
+	}
+	ps.heat.AddDecode(ps.heatFile, b, ns)
 }
 
 // recordPipe folds a finished partition's pipeline stats into spans,
@@ -161,12 +208,18 @@ func (e *Engine[V, M]) recordPipe(ps *pipeStats, iter, p int, partStart time.Tim
 		e.eo.adjHits.Inc()
 	}
 	if raw := ps.codecRawB.Load(); raw > 0 {
+		dec := ps.decodeNS.Load()
 		e.eo.codecRawBytes.Add(raw)
 		e.eo.codecEncBytes.Add(ps.codecEncB.Load())
-		e.eo.codecDecodeNS.Add(ps.decodeNS.Load())
+		e.eo.codecDecodeNS.Add(dec)
 		e.codecRawBytes += raw
 		e.codecEncBytes += ps.codecEncB.Load()
-		e.codecDecodeNS += ps.decodeNS.Load()
+		e.codecDecodeNS += dec
+		if dec > 0 {
+			// The decode sub-span mirrors the counter exactly, so report
+			// stage totals reconcile with graphz_codec_decode_ns_total.
+			e.eo.tr.Emit(engineName, obs.StageDecode, iter, p, partStart, time.Duration(dec))
+		}
 	}
 	e.stageTotals.Sio += sio
 	e.stageTotals.Dispatch += dispatch
@@ -221,6 +274,107 @@ func (e *Engine[V, M]) recordDrain(iter, p int, start time.Time, row *obs.IterSt
 	if row != nil {
 		row.Stages.Drain += d
 	}
+}
+
+// newPipeStats builds one partition's pipeline accumulator with the
+// heat-attribution fields resolved.
+func (e *Engine[V, M]) newPipeStats() *pipeStats {
+	return &pipeStats{heat: e.eo.heat, heatFile: e.layout.EdgesFile(), heatBE: e.adj.BlockEntries}
+}
+
+// heatSelective attributes a partition's skipped adjacency blocks — the
+// blocks of entry range [start, end) no scheduled run touches — to the
+// heatmap, in absolute entry-block units (matching read attribution).
+func (e *Engine[V, M]) heatSelective(sched selSchedule, start, end int64) {
+	h := e.eo.heat
+	if h == nil || sched.streamAll || end <= start {
+		return
+	}
+	be := e.adj.BlockEntries
+	file := e.layout.EdgesFile()
+	covered := make(map[int64]bool, len(sched.runs))
+	for _, r := range sched.runs {
+		if r.endOff <= r.startOff {
+			continue
+		}
+		for b := r.startOff / be; b <= (r.endOff-1)/be; b++ {
+			covered[b] = true
+		}
+	}
+	for b := start / be; b <= (end-1)/be; b++ {
+		if !covered[b] {
+			h.AddSkip(file, b)
+		}
+	}
+}
+
+// vstateBlock maps a vertex to its DefaultBlockSize byte block of the
+// vertex-state file — the unit drain fan-in is attributed at.
+func (e *Engine[V, M]) vstateBlock(dst graph.VertexID) int64 {
+	return int64(dst) * int64(e.vsize) / storage.DefaultBlockSize
+}
+
+// flushDrainHeat folds one drain's per-block fan-in accumulator into the
+// heatmap.
+func (e *Engine[V, M]) flushDrainHeat(acc map[int64]int64) {
+	file := e.vstateFile()
+	for b, n := range acc {
+		e.eo.heat.AddDrain(file, b, n)
+	}
+}
+
+// sampleMemory records one memory-budget accounting sample at an
+// iteration boundary: what is resident right now, per accounted class,
+// against the configured budget (docs/OBSERVABILITY.md, "Run reports").
+func (e *Engine[V, M]) sampleMemory(iter int) {
+	if e.eo.reg == nil {
+		return
+	}
+	s := obs.MemSample{
+		Iteration:        iter,
+		BudgetBytes:      e.opts.MemoryBudget,
+		IndexBytes:       e.layout.IndexBytes(),
+		TableBytes:       e.adj.TableBytes(),
+		PipelineBytes:    pipelineOverheadBytes,
+		VertexStateBytes: int64(cap(e.verts)) * int64(e.vsize), // high-water partition
+	}
+	for _, data := range e.adjCache {
+		s.AdjCacheBytes += int64(len(data))
+	}
+	for p, buf := range e.msgBufs {
+		s.MsgBufferBytes += int64(cap(buf))
+		// Size is an uncharged catalog lookup; a missing file reads as
+		// zero spill (it only happens mid-teardown).
+		if sz, err := e.dev.Size(e.msgFile(p)); err == nil {
+			s.SpillBytes += sz
+		}
+	}
+	if e.sel != nil {
+		s.BitmapBytes = int64(len(e.sel.words)) * 8
+	}
+	e.eo.reg.RecordMem(s)
+}
+
+// DeviceFileIO snapshots a device's per-file traffic in the report's
+// storage-free FileIO form. The helper lives here (not in obs) so the
+// obs schema stays free of storage imports.
+func DeviceFileIO(dev *storage.Device) map[string]obs.FileIO {
+	if dev == nil {
+		return nil
+	}
+	stats := dev.FileStats()
+	out := make(map[string]obs.FileIO, len(stats))
+	for name, st := range stats {
+		out[name] = obs.FileIO{
+			ReadOps:    st.ReadOps,
+			ReadBytes:  st.ReadBytes,
+			WriteOps:   st.WriteOps,
+			WriteBytes: st.WriteBytes,
+			Seeks:      st.Seeks,
+			CacheHits:  st.CacheHits,
+		}
+	}
+	return out
 }
 
 // foldDeviceStats mirrors the device's cumulative counters into the

@@ -130,6 +130,16 @@ func (e *Engine[V, M]) applyChunkParallel(data []byte, lo graph.VertexID, locks 
 			e.sel.set(graph.VertexID(binary.LittleEndian.Uint32(data[i*rec:])))
 		}
 	}
+	if e.eo.heat != nil {
+		// Drain fan-in attribution in the same pre-pass style: count per
+		// vstate block single-threaded, so the pool stays heat-free.
+		acc := make(map[int64]int64)
+		for i := 0; i < total; i++ {
+			dst := graph.VertexID(binary.LittleEndian.Uint32(data[i*rec:]))
+			acc[e.vstateBlock(dst)]++
+		}
+		e.flushDrainHeat(acc)
+	}
 	apply := func(recBytes []byte) {
 		dst := graph.VertexID(binary.LittleEndian.Uint32(recBytes))
 		m := e.mcodec.Decode(recBytes[4:])

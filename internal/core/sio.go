@@ -102,6 +102,7 @@ func newMultiEntryStream(dev *storage.Device, file string, ranges []entryRange, 
 		defer close(s.blocks)
 		for _, rng := range ranges {
 			r := storage.NewRangeReader(f, rng.start*4, rng.end*4)
+			off := rng.start // entry offset of the next chunk, for heat attribution
 			for {
 				buf := blockPool.Get()
 				var t0 time.Time
@@ -113,6 +114,8 @@ func newMultiEntryStream(dev *storage.Device, file string, ranges []entryRange, 
 					met.readNS.Add(int64(time.Since(t0)))
 					if n > 0 {
 						met.blocks.Add(1)
+						met.heatRead(off, int64(n)/4)
+						off += int64(n) / 4
 					}
 				}
 				if n > 0 {

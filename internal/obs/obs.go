@@ -147,11 +147,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 // and every record is dropped, which is how the engines run with
 // observability disabled.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	iters    []IterStats
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	iters     []IterStats
+	iterSnaps []map[string]int64 // cumulative snapshot taken with each row
+	mems      []MemSample        // memory-budget timeline (RecordMem)
+	heat      *BlockHeatmap
 }
 
 // NewRegistry returns an empty registry.
@@ -160,6 +163,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		heat:     NewBlockHeatmap(),
 	}
 }
 
@@ -231,15 +235,81 @@ func (r *Registry) GaugeValue(name string) int64 {
 	return g.Value()
 }
 
-// RecordIter appends one per-iteration breakdown row. Engines call it at
-// the end of every iteration when a registry is attached.
+// RecordIter appends one per-iteration breakdown row, capturing the
+// cumulative counter/gauge/histogram snapshot alongside it (histograms
+// contribute `<name>_count` and `<name>_sum_ns` keys). Engines call it
+// at the end of every iteration when a registry is attached.
 func (r *Registry) RecordIter(row IterStats) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.iters = append(r.iters, row)
+	r.iterSnaps = append(r.iterSnaps, r.snapshotLocked())
 	r.mu.Unlock()
+}
+
+// snapshotLocked captures every instrument's cumulative value. Caller
+// holds r.mu; instrument reads are atomic and don't retake it.
+func (r *Registry) snapshotLocked() map[string]int64 {
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+2*len(r.hists))
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		out[n+"_count"] = h.Count()
+		out[n+"_sum_ns"] = int64(h.Sum())
+	}
+	return out
+}
+
+// IterSnapshots returns the cumulative instrument snapshots captured
+// with each iteration row, parallel to Iters().
+func (r *Registry) IterSnapshots() []map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]map[string]int64, len(r.iterSnaps))
+	copy(out, r.iterSnaps)
+	return out
+}
+
+// RecordMem appends one memory-budget accounting sample. Engines call it
+// at iteration boundaries when a registry is attached.
+func (r *Registry) RecordMem(s MemSample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.mems = append(r.mems, s)
+	r.mu.Unlock()
+}
+
+// MemSamples returns a copy of the recorded memory timeline.
+func (r *Registry) MemSamples() []MemSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MemSample, len(r.mems))
+	copy(out, r.mems)
+	return out
+}
+
+// Heatmap returns the registry's block-level IO heatmap (nil on a nil
+// registry — and a nil heatmap ignores writes, preserving the no-op
+// fast path).
+func (r *Registry) Heatmap() *BlockHeatmap {
+	if r == nil {
+		return nil
+	}
+	return r.heat
 }
 
 // Iters returns a copy of the recorded per-iteration rows.

@@ -19,6 +19,16 @@ const (
 	StageDrain    = "drain"
 )
 
+// Off-pipeline stages: durability snapshots (PR 3), their restore path,
+// and the block codec's decode step (PR 5, a sub-span of dispatch).
+// These carry part = -1 (checkpoint/restore span whole iterations) or
+// the partition whose blocks were decoded.
+const (
+	StageCheckpoint = "checkpoint"
+	StageRestore    = "restore"
+	StageDecode     = "decode"
+)
+
 // StageTimes is wall-clock time attributed to each pipeline stage.
 type StageTimes struct {
 	Sio      time.Duration

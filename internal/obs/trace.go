@@ -21,11 +21,25 @@ import (
 // an engine-specific name); iter and part identify the (iteration,
 // partition) the span covers.
 type Tracer struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	c     io.Closer
-	err   error
-	spans atomic.Int64
+	mu      sync.Mutex
+	w       *bufio.Writer // nil on a collect-only tracer
+	c       io.Closer
+	err     error
+	events  []SpanEvent // populated only on collecting tracers
+	collect bool
+	spans   atomic.Int64
+	dropped atomic.Int64
+}
+
+// SpanEvent is one emitted span, as retained by a collecting tracer.
+// Fields mirror the JSONL schema.
+type SpanEvent struct {
+	TS     int64  `json:"ts"`
+	Engine string `json:"engine"`
+	Stage  string `json:"stage"`
+	Iter   int    `json:"iter"`
+	Part   int    `json:"part"`
+	DurNS  int64  `json:"dur_ns"`
 }
 
 // NewTracer wraps a sink. If w also implements io.Closer, Close closes it
@@ -36,6 +50,36 @@ func NewTracer(w io.Writer) *Tracer {
 		t.c = c
 	}
 	return t
+}
+
+// NewCollectingTracer returns a tracer that retains every span event in
+// memory (for post-run aggregation into a RunReport). With a non-nil w
+// it also writes the usual JSONL stream; with nil it only collects.
+func NewCollectingTracer(w io.Writer) *Tracer {
+	t := &Tracer{collect: true}
+	if w != nil {
+		t.w = bufio.NewWriter(w)
+		if c, ok := w.(io.Closer); ok {
+			t.c = c
+		}
+	}
+	return t
+}
+
+// Events returns a copy of the collected span events (nil unless the
+// tracer was built with NewCollectingTracer).
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
+		return nil
+	}
+	out := make([]SpanEvent, len(t.events))
+	copy(out, t.events)
+	return out
 }
 
 // Span is one in-flight timed region. The zero Span (from a nil Tracer)
@@ -74,16 +118,40 @@ func (t *Tracer) Emit(engine, stage string, iter, part int, start time.Time, dur
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.collect {
+		// In-memory collection never fails; a broken sink must not lose
+		// the events a RunReport is built from.
+		t.events = append(t.events, SpanEvent{
+			TS: start.UnixNano(), Engine: engine, Stage: stage,
+			Iter: iter, Part: part, DurNS: dur.Nanoseconds(),
+		})
+	}
+	if t.w == nil {
+		t.spans.Add(1)
+		return
+	}
 	if t.err != nil {
+		// The sink already failed; count what it is losing so the run
+		// can report the damage instead of silently dropping spans.
+		t.dropped.Add(1)
 		return
 	}
 	_, err := fmt.Fprintf(t.w, "{\"ts\":%d,\"engine\":%q,\"stage\":%q,\"iter\":%d,\"part\":%d,\"dur_ns\":%d}\n",
 		start.UnixNano(), engine, stage, iter, part, dur.Nanoseconds())
 	if err != nil {
 		t.err = err
+		t.dropped.Add(1)
 		return
 	}
 	t.spans.Add(1)
+}
+
+// Dropped returns how many span events were lost to a failed sink.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
 }
 
 // Spans returns the number of events emitted so far.
@@ -104,6 +172,9 @@ func (t *Tracer) Flush() error {
 	if t.err != nil {
 		return t.err
 	}
+	if t.w == nil {
+		return nil
+	}
 	return t.w.Flush()
 }
 
@@ -117,7 +188,9 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
-// Close flushes and closes the sink (when it is an io.Closer).
+// Close flushes and closes the sink (when it is an io.Closer). A failed
+// sink is reported with the number of spans it lost, so callers can
+// surface incomplete trace output instead of silently losing spans.
 func (t *Tracer) Close() error {
 	if t == nil {
 		return nil
@@ -126,6 +199,11 @@ func (t *Tracer) Close() error {
 	if t.c != nil {
 		if cerr := t.c.Close(); err == nil {
 			err = cerr
+		}
+	}
+	if err != nil {
+		if n := t.dropped.Load(); n > 0 {
+			return fmt.Errorf("%w (%d spans dropped)", err, n)
 		}
 	}
 	return err

@@ -142,9 +142,14 @@ type Device struct {
 	mu    sync.Mutex
 	files map[string]*file
 	stats Stats
-	used  int64
-	cache *pageCache // nil unless PageCacheBytes > 0
-	inj   *injector  // nil unless constructed via NewFaultDevice
+	// fileStats attributes physical traffic per file name. It is keyed
+	// separately from files so the attribution survives Remove — engines
+	// delete their message files at the end of a run, after which the
+	// run report still wants to know what they cost.
+	fileStats map[string]*Stats
+	used      int64
+	cache     *pageCache // nil unless PageCacheBytes > 0
+	inj       *injector  // nil unless constructed via NewFaultDevice
 }
 
 type file struct {
@@ -207,11 +212,40 @@ func (d *Device) Stats() Stats {
 	return d.stats
 }
 
-// ResetStats zeroes the device counters (file contents are untouched).
+// ResetStats zeroes the device counters, global and per-file (file
+// contents are untouched).
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	d.stats = Stats{}
+	d.fileStats = nil
 	d.mu.Unlock()
+}
+
+// FileStats returns a snapshot of the per-file traffic counters, keyed
+// by file name. Attribution survives Remove: a deleted file's traffic
+// stays visible (run reports account the whole run, including runtime
+// files cleaned up at the end).
+func (d *Device) FileStats() map[string]Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]Stats, len(d.fileStats))
+	for n, s := range d.fileStats {
+		out[n] = *s
+	}
+	return out
+}
+
+// fileStat returns the per-file accumulator for name. Caller holds d.mu.
+func (d *Device) fileStat(name string) *Stats {
+	s, ok := d.fileStats[name]
+	if !ok {
+		if d.fileStats == nil {
+			d.fileStats = make(map[string]*Stats)
+		}
+		s = &Stats{}
+		d.fileStats[name] = s
+	}
+	return s
 }
 
 // Used returns the number of bytes currently stored on the device.
@@ -313,10 +347,12 @@ func (d *Device) Size(name string) (int64, error) {
 // chargeRead accounts one read op of n bytes at offset off. Caller holds
 // d.mu.
 func (d *Device) chargeRead(f *file, off, n int64) {
+	fs := d.fileStat(f.name)
 	if d.cache != nil {
 		pages := (off+n-1)/PageBytes - off/PageBytes + 1
 		misses := int64(d.cache.span(f, off, n))
 		d.stats.CacheHits += pages - misses
+		fs.CacheHits += pages - misses
 		if misses == 0 {
 			// Served entirely from the page cache: no physical IO.
 			return
@@ -325,9 +361,12 @@ func (d *Device) chargeRead(f *file, off, n int64) {
 	}
 	d.stats.ReadOps++
 	d.stats.ReadBytes += n
+	fs.ReadOps++
+	fs.ReadBytes += n
 	var t time.Duration
 	if off != f.lastReadEnd {
 		d.stats.Seeks++
+		fs.Seeks++
 		t += d.profile.SeekLatency
 	}
 	f.lastReadEnd = off + n
@@ -345,11 +384,15 @@ func (d *Device) chargeWrite(f *file, off, n int64) {
 	if d.cache != nil {
 		d.cache.span(f, off, n)
 	}
+	fs := d.fileStat(f.name)
 	d.stats.WriteOps++
 	d.stats.WriteBytes += n
+	fs.WriteOps++
+	fs.WriteBytes += n
 	var t time.Duration
 	if off != f.lastWriteEnd {
 		d.stats.Seeks++
+		fs.Seeks++
 		t += d.profile.SeekLatency
 	}
 	f.lastWriteEnd = off + n

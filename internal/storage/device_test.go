@@ -352,3 +352,59 @@ func TestAppend(t *testing.T) {
 		t.Fatalf("Append = %d, %v", off2, err)
 	}
 }
+
+func TestFileStats(t *testing.T) {
+	dev := NewDevice(HDD, Options{})
+	a, _ := dev.Create("a")
+	b, _ := dev.Create("b")
+	a.WriteAt(make([]byte, 100), 0)
+	a.ReadAt(make([]byte, 40), 0)
+	b.WriteAt(make([]byte, 20), 0)
+	b.ReadAt(make([]byte, 5), 10) // seek (lastReadEnd 0)
+
+	fs := dev.FileStats()
+	if fs["a"].WriteBytes != 100 || fs["a"].ReadBytes != 40 || fs["a"].ReadOps != 1 {
+		t.Errorf("file a stats: %+v", fs["a"])
+	}
+	if fs["b"].WriteBytes != 20 || fs["b"].ReadBytes != 5 || fs["b"].Seeks != 1 {
+		t.Errorf("file b stats: %+v", fs["b"])
+	}
+
+	// Per-file stats sum to the device totals.
+	var sum Stats
+	for _, s := range fs {
+		sum = sum.Add(s)
+	}
+	if sum != dev.Stats() {
+		t.Errorf("per-file sum %+v != device %+v", sum, dev.Stats())
+	}
+
+	// Attribution survives Remove — engines delete message files at run
+	// end, after the accounting they produced already happened.
+	if err := dev.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.FileStats()["b"].WriteBytes; got != 20 {
+		t.Errorf("removed file stats lost: %d", got)
+	}
+
+	dev.ResetStats()
+	if len(dev.FileStats()) != 0 {
+		t.Errorf("ResetStats kept per-file stats: %+v", dev.FileStats())
+	}
+}
+
+func TestFileStatsCacheHits(t *testing.T) {
+	dev := NewDevice(HDD, Options{PageCacheBytes: 1 << 20})
+	f, _ := dev.Create("a")
+	f.WriteAt(make([]byte, 4096), 0)
+	f.ReadAt(make([]byte, 4096), 0) // miss, fills cache
+	f.ReadAt(make([]byte, 4096), 0) // hit
+	fs := dev.FileStats()["a"]
+	if fs.CacheHits == 0 {
+		t.Errorf("no cache hits attributed: %+v", fs)
+	}
+	if fs.CacheHits != dev.Stats().CacheHits {
+		t.Errorf("per-file hits %d != device %d", fs.CacheHits, dev.Stats().CacheHits)
+	}
+}
