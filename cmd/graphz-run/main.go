@@ -51,6 +51,8 @@ func main() {
 		workers = flag.Int("workers", 1, "graphz: Worker-stage goroutines (deterministic chunked speculation; 1 = sequential)")
 		cache   = flag.Bool("cache-adjacency", false, "graphz: keep adjacency resident when it fits the budget")
 		sel     = flag.Bool("selective", false, "graphz: skip adjacency blocks with no active vertex and no pending message (selective block scheduling; see DESIGN.md §9)")
+		sorted  = flag.Bool("sorted-spill", false, "graphz: sort spilled cross-partition messages by destination and merge-sort them at drain time (see DESIGN.md §11)")
+		comb    = flag.Bool("combine", false, "graphz: fold same-destination messages with the program's Combine hook (pr/bfs/cc/sssp; implies -sorted-spill)")
 		top     = flag.Int("top", 5, "print the top-N result vertices")
 		maddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this address while the run is live (e.g. :8080, or :0 for a free port)")
 		traceTo = flag.String("trace", "", "write one JSONL span per (iteration, partition, stage) to this file")
@@ -74,6 +76,9 @@ func main() {
 	}
 	if (*ckDir != "" || *resume) && *engine != "graphz" {
 		fatal(fmt.Errorf("-checkpoint-dir/-resume need -engine graphz, got %q", *engine))
+	}
+	if (*sorted || *comb) && *engine != "graphz" {
+		fatal(fmt.Errorf("-sorted-spill/-combine need -engine graphz, got %q", *engine))
 	}
 	if *resume && *ckDir == "" {
 		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
@@ -173,7 +178,7 @@ func main() {
 				}
 			}
 		}
-		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *sel, *workers, ck)
+		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *sel, *sorted, *comb, *workers, ck)
 	case "graphchi":
 		iterations, values, err = runGraphChi(dev, clock, reg, tracer, *algo, *budget, *iters, src)
 	case "xstream":
@@ -214,9 +219,11 @@ func main() {
 			Device:      kind.String(),
 			BudgetBytes: *budget,
 			Config: map[string]string{
-				"input":     inputName,
-				"workers":   fmt.Sprint(*workers),
-				"selective": fmt.Sprint(*sel),
+				"input":        inputName,
+				"workers":      fmt.Sprint(*workers),
+				"selective":    fmt.Sprint(*sel),
+				"sorted_spill": fmt.Sprint(*sorted || *comb),
+				"combine":      fmt.Sprint(*comb),
 			},
 		}, reg, tracer, core.DeviceFileIO(dev))
 		if err := report.WriteFile(*repTo); err != nil {
@@ -265,7 +272,7 @@ func importDOS(dev *storage.Device, prefix string) error {
 
 // runGraphZ preprocesses to DOS (or loads a pre-converted graph) and runs
 // the algorithm, returning values keyed by original IDs.
-func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj, selective bool, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
+func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj, selective, sortedSpill, combine bool, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
 	var g *dos.Graph
 	var err error
 	if preconverted {
@@ -287,8 +294,8 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer 
 	opts := core.Options{
 		MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
 		ParallelDrain: pdrain, CacheAdjacency: cacheAdj, WorkerParallelism: workers,
-		SelectiveScheduling: selective,
-		Obs:                 reg, Trace: tracer, Checkpoint: ck,
+		SelectiveScheduling: selective, SortedSpill: sortedSpill, Combine: combine,
+		Obs: reg, Trace: tracer, Checkpoint: ck,
 	}
 	if ck.Dir != "" {
 		// Bind checkpoints to the algorithm: resuming a "pr" checkpoint
@@ -363,6 +370,10 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer 
 	if selective {
 		fmt.Printf("selective: %d blocks scanned, %d skipped\n",
 			res.BlocksScanned, res.BlocksSkipped)
+	}
+	if sortedSpill || combine {
+		fmt.Printf("sort-reduce: %d messages combined, %d drain merge passes, %d B spill writes saved\n",
+			res.MessagesCombined, res.DrainMergePasses, res.SpillBytesSaved)
 	}
 	out := make(map[graph.VertexID]float64, len(vals))
 	for newID, val := range vals {

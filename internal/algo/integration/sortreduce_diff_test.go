@@ -1,0 +1,282 @@
+package integration
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphz/internal/algo/graphzalgo"
+	"graphz/internal/checkpoint"
+	"graphz/internal/core"
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// dropCheckpointsAfter deletes every checkpoint past iteration k — the
+// on-host state of a run that died during iteration k+1.
+func dropCheckpointsAfter(t *testing.T, dir string, k int) {
+	t.Helper()
+	st, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, err := st.Iterations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range iters {
+		if it > k {
+			os.RemoveAll(filepath.Join(dir, fmt.Sprintf("ckpt-%010d", it)))
+		}
+	}
+}
+
+// The differential property behind the sort-reduce spill path: sorting
+// spilled messages by destination is invisible to the algorithm. The
+// sort and merge are stable, so per-destination arrival order — the only
+// order Apply can observe — is preserved, and every run must produce
+// byte-identical vertex states and identical counters against the
+// arrival-order path. With Options.Combine the fold changes only HOW
+// messages reach Apply: exact folds (CC's and SSSP's min) stay
+// byte-identical; PageRank's float sums agree to tolerance, with the
+// applied + combined counter invariant holding exactly everywhere.
+
+// sortedCounters projects a Result onto the counters the sorted path may
+// not change even when Combine folds applies away.
+type sendSideCounters struct {
+	iterations, partitions          int
+	sent, inline, buffered, spilled int64
+}
+
+func sendSideOf(r core.Result) sendSideCounters {
+	return sendSideCounters{
+		iterations: r.Iterations, partitions: r.Partitions,
+		sent: r.MessagesSent, inline: r.MessagesInline,
+		buffered: r.MessagesBuffered, spilled: r.MessagesSpilled,
+	}
+}
+
+func TestSortedSpillDifferential(t *testing.T) {
+	algos := []struct {
+		name         string
+		exactCombine bool // Combine is a min fold: selects an operand bit-for-bit
+		run          func(g *dos.Graph, opts core.Options) (core.Result, []uint64, error)
+	}{
+		{"cc", true, func(g *dos.Graph, opts core.Options) (core.Result, []uint64, error) {
+			res, labels, err := graphzalgo.ConnectedComponents(g, opts)
+			return res, bits32(labels), err
+		}},
+		{"sssp", true, func(g *dos.Graph, opts core.Options) (core.Result, []uint64, error) {
+			res, dists, err := graphzalgo.SSSP(g, opts, 0)
+			return res, bitsF32(dists), err
+		}},
+		// PageRank's Combine sums floats: grouping changes rounding, so
+		// combined states agree only to tolerance. Sorted WITHOUT Combine
+		// must still be byte-identical — the order argument does not care
+		// that Apply is order-sensitive arithmetic.
+		{"pagerank", false, func(g *dos.Graph, opts core.Options) (core.Result, []uint64, error) {
+			res, ranks, err := graphzalgo.PageRank(g, opts, 20, 0.85)
+			return res, bitsF32(ranks), err
+		}},
+	}
+	configs := []struct {
+		name string
+		mod  func(o core.Options) core.Options
+	}{
+		{"sequential", func(o core.Options) core.Options { return o }},
+		{"workers4", func(o core.Options) core.Options { o.WorkerParallelism = 4; return o }},
+		{"selective", func(o core.Options) core.Options { o.SelectiveScheduling = true; return o }},
+	}
+	graphs := []struct {
+		name  string
+		edges []graph.Edge
+	}{
+		{"zipf", symmetrize(gen.Zipf(3000, 16000, 0.9, 81))},
+		{"rmat", symmetrize(gen.RMAT(11, 9000, gen.NaturalRMAT, 82))},
+	}
+
+	for _, gr := range graphs {
+		g := convertCodec(t, gr.edges, nil)
+		for _, a := range algos {
+			for _, cfg := range configs {
+				name := gr.name + "/" + a.name + "/" + cfg.name
+				baseRes, baseSt, err := a.run(g, cfg.mod(tightCodecOpts(g, 8)))
+				if err != nil {
+					t.Fatalf("%s base: %v", name, err)
+				}
+				if baseRes.Partitions < 2 || baseRes.MessagesSpilled == 0 {
+					t.Fatalf("%s: %d partitions, %d spills — budget too loose to test the spill path",
+						name, baseRes.Partitions, baseRes.MessagesSpilled)
+				}
+
+				sopts := cfg.mod(tightCodecOpts(g, 8))
+				sopts.SortedSpill = true
+				sortRes, sortSt, err := a.run(g, sopts)
+				if err != nil {
+					t.Fatalf("%s sorted: %v", name, err)
+				}
+				// The headline property: sorted-without-Combine is
+				// indistinguishable for EVERY program.
+				sameBits(t, name+" sorted-vs-unsorted", sortSt, baseSt)
+				if countersOf(sortRes) != countersOf(baseRes) {
+					t.Fatalf("%s: sorted counters %+v, unsorted %+v", name, countersOf(sortRes), countersOf(baseRes))
+				}
+				if sortRes.MessagesCombined != 0 {
+					t.Fatalf("%s: combined %d messages without the option", name, sortRes.MessagesCombined)
+				}
+
+				copts := cfg.mod(tightCodecOpts(g, 8))
+				copts.Combine = true
+				combRes, combSt, err := a.run(g, copts)
+				if err != nil {
+					t.Fatalf("%s combine: %v", name, err)
+				}
+				if sendSideOf(combRes) != sendSideOf(baseRes) {
+					t.Fatalf("%s: combine moved send-side counters %+v, base %+v",
+						name, sendSideOf(combRes), sendSideOf(baseRes))
+				}
+				// The counter invariant is exact for converging runs (CC,
+				// SSSP: the run ends with no pending messages). PageRank
+				// stops at MaxIterations with its last iteration's sends
+				// spilled but never drained, and folds among those leftovers
+				// count as combined without removing a base apply — so there
+				// the balance only bounds.
+				got := combRes.MessagesApplied + combRes.MessagesCombined
+				if a.exactCombine {
+					if got != baseRes.MessagesApplied {
+						t.Fatalf("%s: applied %d + combined %d != base applied %d",
+							name, combRes.MessagesApplied, combRes.MessagesCombined, baseRes.MessagesApplied)
+					}
+				} else {
+					if combRes.MessagesApplied > baseRes.MessagesApplied || got < baseRes.MessagesApplied {
+						t.Fatalf("%s: applied %d, combined %d out of bounds vs base applied %d",
+							name, combRes.MessagesApplied, combRes.MessagesCombined, baseRes.MessagesApplied)
+					}
+				}
+				if a.exactCombine {
+					sameBits(t, name+" combine-vs-unsorted", combSt, baseSt)
+				} else {
+					for i := range baseSt {
+						b := float64(math.Float32frombits(uint32(baseSt[i])))
+						c := float64(math.Float32frombits(uint32(combSt[i])))
+						if math.Abs(b-c) > 1e-3*(1+math.Abs(b)) {
+							t.Fatalf("%s: state[%d] = %v combined, %v base", name, i, c, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// A sorted+combined run crash/resumed mid-flight must reproduce its own
+// uninterrupted outcome exactly — runs.<p> checkpoint sections restore
+// the sorted run boundaries — and the min-fold algorithms must still
+// match the plain unsorted reference bit-for-bit.
+func TestSortedCheckpointResumeDifferential(t *testing.T) {
+	edges := symmetrize(gen.Zipf(2500, 14000, 0.9, 83))
+	gPlain := convertCodec(t, edges, nil)
+	_, plainLabels, err := graphzalgo.ConnectedComponents(gPlain, tightCodecOpts(gPlain, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gRef := convertCodec(t, edges, nil)
+	refOpts := tightCodecOpts(gRef, 8)
+	refOpts.Combine = true
+	refRes, refLabels, err := graphzalgo.ConnectedComponents(gRef, refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Iterations < 3 {
+		t.Fatalf("CC converged in %d iterations; too few to test mid-run resume", refRes.Iterations)
+	}
+	sameBits(t, "combined-vs-plain", bits32(refLabels), bits32(plainLabels))
+
+	dir := t.TempDir()
+	g := convertCodec(t, edges, nil)
+	opts := tightCodecOpts(g, 8)
+	opts.Combine = true
+	opts.Checkpoint = core.CheckpointOptions{Dir: dir, Every: 1, Keep: 1 << 20}
+	if _, _, err := graphzalgo.ConnectedComponents(g, opts); err != nil {
+		t.Fatal(err)
+	}
+	dropCheckpointsAfter(t, dir, refRes.Iterations/2)
+
+	ropts := tightCodecOpts(g, 8)
+	ropts.Combine = true
+	ropts.Checkpoint = core.CheckpointOptions{Dir: dir, Every: 1, Resume: true}
+	res, labels, err := graphzalgo.ConnectedComponents(g, ropts)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	sameBits(t, "resumed-vs-uninterrupted", bits32(labels), bits32(refLabels))
+	if countersOf(res) != countersOf(refRes) {
+		t.Fatalf("resumed counters %+v, uninterrupted %+v", countersOf(res), countersOf(refRes))
+	}
+	if res.MessagesCombined != refRes.MessagesCombined {
+		t.Fatalf("resumed combined %d, uninterrupted %d", res.MessagesCombined, refRes.MessagesCombined)
+	}
+}
+
+// The acceptance bar from the issue: on a high-fan-in Zipf graph, the
+// Combine fold measurably shrinks the drain — fewer applies, fewer
+// device bytes written — while the min-fold states stay byte-identical.
+func TestSortReduceAcceptance(t *testing.T) {
+	// A skewed exponent funnels most edges into a few hot destinations.
+	edges := gen.Zipf(4000, 60_000, 1.1, 84)
+	g := convertCodec(t, edges, nil)
+
+	// Spill buffers large enough that runs stay under the drain fan-in:
+	// the IO comparison should measure the spill-time fold, not the
+	// scratch traffic of intermediate merge passes that tiny buffers
+	// would force on both sides of the ledger.
+	acceptOpts := func() core.Options {
+		vertexBytes := int64(g.NumVertices) * 8
+		return core.Options{
+			MemoryBudget:    6*storage.DefaultBlockSize + g.IndexBytes() + g.BlockTableBytes() + vertexBytes/3 + 4*4096,
+			DynamicMessages: true,
+			MsgBufferBytes:  4096,
+		}
+	}
+
+	run := func(mod func(*core.Options)) (core.Result, []uint64, storage.Stats) {
+		g.Device().ResetStats()
+		opts := acceptOpts()
+		mod(&opts)
+		res, labels, err := graphzalgo.ConnectedComponents(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, bits32(labels), g.Device().Stats()
+	}
+
+	baseRes, baseSt, baseIO := run(func(*core.Options) {})
+	if baseRes.MessagesSpilled == 0 {
+		t.Fatal("no spills; the acceptance graph must cross partitions")
+	}
+	combRes, combSt, combIO := run(func(o *core.Options) { o.Combine = true })
+
+	sameBits(t, "combine-vs-base", combSt, baseSt)
+	if combRes.MessagesCombined == 0 {
+		t.Fatal("hot-spot run combined nothing")
+	}
+	if combRes.MessagesApplied >= baseRes.MessagesApplied {
+		t.Errorf("combine applied %d messages, base applied %d — no drain reduction",
+			combRes.MessagesApplied, baseRes.MessagesApplied)
+	}
+	if combRes.SpillBytesSaved <= 0 {
+		t.Errorf("SpillBytesSaved = %d, want > 0", combRes.SpillBytesSaved)
+	}
+	t.Logf("applies %d -> %d (combined %d), device writes %d -> %d B, saved %d B",
+		baseRes.MessagesApplied, combRes.MessagesApplied, combRes.MessagesCombined,
+		baseIO.WriteBytes, combIO.WriteBytes, combRes.SpillBytesSaved)
+	if combIO.WriteBytes >= baseIO.WriteBytes {
+		t.Errorf("combine wrote %d device bytes, base wrote %d — no IO reduction",
+			combIO.WriteBytes, baseIO.WriteBytes)
+	}
+}

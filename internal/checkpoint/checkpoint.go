@@ -82,6 +82,11 @@ type Counters struct {
 	// byte-identical.
 	BlocksScanned int64 `json:"blocks_scanned,omitempty"`
 	BlocksSkipped int64 `json:"blocks_skipped,omitempty"`
+	// Sort-reduce totals (SortedSpill/Combine runs); omitted for
+	// checkpoints from runs without it, same compatibility rule.
+	Combined    int64 `json:"combined,omitempty"`
+	MergePasses int64 `json:"merge_passes,omitempty"`
+	SpillSaved  int64 `json:"spill_saved,omitempty"`
 }
 
 // Section describes one data file of a checkpoint.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -73,9 +74,42 @@ func TestEngineSurfacesDeviceFull(t *testing.T) {
 		t.Errorf("counter = %d, engine saw %d", errCount, eng.spillErrs)
 	}
 	// When later failures were dropped behind the first, the error text
-	// says how many.
-	if errCount > 1 && !strings.Contains(err.Error(), "later spill errors dropped") {
-		t.Errorf("error %q does not report %d dropped spill errors", err, errCount-1)
+	// says exactly how many (grammatical number included): the first
+	// failure is the error itself, so errCount-1 were dropped.
+	if errCount > 1 {
+		noun := "errors"
+		if errCount == 2 {
+			noun = "error"
+		}
+		want := fmt.Sprintf("(%d later spill %s dropped)", errCount-1, noun)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+}
+
+// TestWrapRunErrMessage pins wrapRunErr's exact annotation: no suffix for
+// a single failure, singular for one dropped, plural beyond — and never
+// the historical off-by-grammar "(1 later spill errors dropped)".
+func TestWrapRunErrMessage(t *testing.T) {
+	base := errors.New("boom")
+	for _, tc := range []struct {
+		spillErrs int64
+		want      string
+	}{
+		{1, "boom"},
+		{2, "boom (1 later spill error dropped)"},
+		{3, "boom (2 later spill errors dropped)"},
+		{5, "boom (4 later spill errors dropped)"},
+	} {
+		e := &Engine[minVal, uint32]{runErr: base, spillErrs: tc.spillErrs}
+		err := e.wrapRunErr()
+		if got := err.Error(); got != tc.want {
+			t.Errorf("spillErrs=%d: message = %q, want %q", tc.spillErrs, got, tc.want)
+		}
+		if !errors.Is(err, base) {
+			t.Errorf("spillErrs=%d: wrapped error lost its cause", tc.spillErrs)
+		}
 	}
 }
 

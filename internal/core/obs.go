@@ -44,6 +44,14 @@ type engineObs struct {
 
 	drainSerial   *obs.Counter // drain invocations by path
 	drainParallel *obs.Counter
+	drainSorted   *obs.Counter
+
+	// Sort-reduce instruments (Options.SortedSpill / Options.Combine;
+	// DESIGN.md §11).
+	combinedMsgs *obs.Counter // messages folded away by the Combine hook
+	drainMerges  *obs.Counter // intermediate merge passes in sorted drains
+	sortedSaved  *obs.Counter // spill bytes never written thanks to combining
+	sortedRuns   *obs.Counter // destination-sorted runs spilled to the device
 
 	// Worker sub-stage instruments for the chunked parallel Worker
 	// (Options.WorkerParallelism > 1); all zero on the sequential path.
@@ -100,6 +108,12 @@ func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
 
 		drainSerial:   reg.Counter("graphz_drain_serial_total"),
 		drainParallel: reg.Counter("graphz_drain_parallel_total"),
+		drainSorted:   reg.Counter("graphz_drain_sorted_total"),
+
+		combinedMsgs: reg.Counter("graphz_messages_combined_total"),
+		drainMerges:  reg.Counter("graphz_drain_merge_passes_total"),
+		sortedSaved:  reg.Counter("graphz_sorted_spill_bytes_saved_total"),
+		sortedRuns:   reg.Counter("graphz_sorted_runs_total"),
 
 		workerChunks:   reg.Counter("graphz_worker_chunks_total"),
 		workerReexecs:  reg.Counter("graphz_worker_chunk_reexecs_total"),
@@ -265,9 +279,12 @@ func (e *Engine[V, M]) recordDrain(iter, p int, start time.Time, row *obs.IterSt
 	e.eo.tr.Emit(engineName, obs.StageDrain, iter, p, start, d)
 	e.eo.drainNS.Add(int64(d))
 	e.eo.drainHist.Observe(d)
-	if e.opts.ParallelDrain {
+	switch {
+	case e.opts.SortedSpill:
+		e.eo.drainSorted.Inc()
+	case e.opts.ParallelDrain:
 		e.eo.drainParallel.Inc()
-	} else {
+	default:
 		e.eo.drainSerial.Inc()
 	}
 	e.stageTotals.Drain += d

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphz/internal/checkpoint"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/obs"
+)
+
+// Tests for the sort-reduce spill path: sorted spills (with and without
+// the Combine fold) must leave vertex states byte-identical to the
+// arrival-order path, and the counters must reconcile exactly.
+
+// stripSortCounters zeroes the fields that legitimately differ between a
+// sorted and an unsorted run (the sorted path's own bookkeeping);
+// everything else — including every message counter — must match.
+func stripSortCounters(r Result) Result {
+	r.MessagesCombined = 0
+	r.DrainMergePasses = 0
+	r.SpillBytesSaved = 0
+	return r
+}
+
+// TestSortedSpillByteIdentical runs minLabel through every scheduling
+// path with and without SortedSpill and demands byte-identical vertex
+// states and identical counters: the stable destination sort preserves
+// per-destination arrival order, so nothing observable may change.
+func TestSortedSpillByteIdentical(t *testing.T) {
+	edges := gen.RMAT(9, 4000, gen.NaturalRMAT, 71)
+	g := buildDOS(t, edges)
+	base := func() Options {
+		return Options{
+			MemoryBudget:    budgetForPartitions(g, 8, 4, 128),
+			DynamicMessages: true,
+			MsgBufferBytes:  128,
+		}
+	}
+	paths := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"sequential", func(*Options) {}},
+		{"workers4", func(o *Options) { o.WorkerParallelism = 4 }},
+		{"selective", func(o *Options) { o.SelectiveScheduling = true }},
+	}
+	for _, path := range paths {
+		t.Run(path.name, func(t *testing.T) {
+			plain := base()
+			path.mod(&plain)
+			plainRes, plainVals := runMinLabel(t, g, plain)
+			if plainRes.MessagesSpilled == 0 {
+				t.Fatal("no spills; test needs cross-partition traffic")
+			}
+
+			sorted := base()
+			path.mod(&sorted)
+			sorted.SortedSpill = true
+			sortedRes, sortedVals := runMinLabel(t, g, sorted)
+
+			if sortedRes.MessagesCombined != 0 {
+				t.Errorf("combined %d messages without a Combine option", sortedRes.MessagesCombined)
+			}
+			if stripSortCounters(sortedRes) != stripSortCounters(plainRes) {
+				t.Errorf("sorted result %+v differs from unsorted %+v", sortedRes, plainRes)
+			}
+			for i := range plainVals {
+				if sortedVals[i] != plainVals[i] {
+					t.Fatalf("vertex %d: sorted %+v, unsorted %+v", i, sortedVals[i], plainVals[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCombineInvariants checks the Combine fold's bookkeeping: states
+// stay byte-identical (min is an exact fold), the send-side counters are
+// untouched, and applied + combined balances against the unsorted run's
+// applied count.
+func TestCombineInvariants(t *testing.T) {
+	// A high-fan-in Zipf graph so many messages share a destination.
+	edges := gen.Zipf(400, 8000, 1.2, 72)
+	g := buildDOS(t, edges)
+	opts := Options{
+		MemoryBudget:    budgetForPartitions(g, 8, 4, 128),
+		DynamicMessages: true,
+		MsgBufferBytes:  128,
+	}
+	plainRes, plainVals := runMinLabel(t, g, opts)
+	if plainRes.MessagesSpilled == 0 {
+		t.Fatal("no spills; test needs cross-partition traffic")
+	}
+
+	copts := opts
+	copts.Combine = true
+	reg := obs.NewRegistry()
+	copts.Obs = reg
+	combRes, combVals := runMinLabel(t, g, copts)
+
+	for i := range plainVals {
+		if combVals[i] != plainVals[i] {
+			t.Fatalf("vertex %d: combined %+v, plain %+v", i, combVals[i], plainVals[i])
+		}
+	}
+	// Send-side counters are pre-combine and must not move.
+	if combRes.MessagesSent != plainRes.MessagesSent ||
+		combRes.MessagesInline != plainRes.MessagesInline ||
+		combRes.MessagesBuffered != plainRes.MessagesBuffered ||
+		combRes.MessagesSpilled != plainRes.MessagesSpilled {
+		t.Errorf("send-side counters moved: combined %+v, plain %+v", combRes, plainRes)
+	}
+	if combRes.MessagesCombined == 0 {
+		t.Error("high-fan-in run combined nothing")
+	}
+	if got := combRes.MessagesApplied + combRes.MessagesCombined; got != plainRes.MessagesApplied {
+		t.Errorf("applied %d + combined %d = %d, want unsorted applied %d",
+			combRes.MessagesApplied, combRes.MessagesCombined, got, plainRes.MessagesApplied)
+	}
+	if combRes.SpillBytesSaved <= 0 {
+		t.Errorf("SpillBytesSaved = %d, want > 0 on a fan-in hot spot", combRes.SpillBytesSaved)
+	}
+	if v := reg.CounterValue("graphz_messages_combined_total"); v != combRes.MessagesCombined {
+		t.Errorf("graphz_messages_combined_total = %d, result says %d", v, combRes.MessagesCombined)
+	}
+	if v := reg.CounterValue("graphz_sorted_spill_bytes_saved_total"); v != combRes.SpillBytesSaved {
+		t.Errorf("graphz_sorted_spill_bytes_saved_total = %d, result says %d", v, combRes.SpillBytesSaved)
+	}
+	if reg.CounterValue("graphz_sorted_runs_total") == 0 {
+		t.Error("graphz_sorted_runs_total not incremented")
+	}
+	if reg.CounterValue("graphz_drain_sorted_total") == 0 {
+		t.Error("graphz_drain_sorted_total not incremented")
+	}
+}
+
+// TestSortedSpillMultiPass forces more runs per partition than the drain
+// fan-in (tiny spill buffers, many messages) so the drain needs
+// intermediate merge passes — and must still be byte-identical.
+func TestSortedSpillMultiPass(t *testing.T) {
+	edges := gen.RMAT(9, 6000, gen.NaturalRMAT, 73)
+	g := buildDOS(t, edges)
+	// An 8-byte buffer holds one record per spill: every cross-partition
+	// message becomes its own run, far exceeding drainFanIn.
+	opts := Options{
+		MemoryBudget:    budgetForPartitions(g, 8, 4, 8),
+		DynamicMessages: true,
+		MsgBufferBytes:  8,
+	}
+	plainRes, plainVals := runMinLabel(t, g, opts)
+	if plainRes.MessagesSpilled <= int64(drainFanIn) {
+		t.Fatalf("only %d spills; cannot exceed fan-in %d", plainRes.MessagesSpilled, drainFanIn)
+	}
+
+	sopts := opts
+	sopts.SortedSpill = true
+	sortedRes, sortedVals := runMinLabel(t, g, sopts)
+	if sortedRes.DrainMergePasses == 0 {
+		t.Error("expected intermediate merge passes with one-record runs")
+	}
+	if stripSortCounters(sortedRes) != stripSortCounters(plainRes) {
+		t.Errorf("multi-pass sorted result %+v differs from unsorted %+v", sortedRes, plainRes)
+	}
+	for i := range plainVals {
+		if sortedVals[i] != plainVals[i] {
+			t.Fatalf("vertex %d: sorted %+v, unsorted %+v", i, sortedVals[i], plainVals[i])
+		}
+	}
+
+	// With Combine the same run must still fold correctly across passes.
+	copts := opts
+	copts.Combine = true
+	combRes, combVals := runMinLabel(t, g, copts)
+	for i := range plainVals {
+		if combVals[i] != plainVals[i] {
+			t.Fatalf("vertex %d: combined %+v, plain %+v", i, combVals[i], plainVals[i])
+		}
+	}
+	if got := combRes.MessagesApplied + combRes.MessagesCombined; got != plainRes.MessagesApplied {
+		t.Errorf("multi-pass applied %d + combined %d != unsorted applied %d",
+			combRes.MessagesApplied, combRes.MessagesCombined, plainRes.MessagesApplied)
+	}
+}
+
+// TestSortedCheckpointResume resumes a sorted+combined run from every
+// mid-run checkpoint: the runs.<p> sections must restore the sorted run
+// boundaries so the resumed drain merges exactly as the uninterrupted
+// one did.
+func TestSortedCheckpointResume(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 74)
+	for _, mode := range []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"sorted", func(o *Options) { o.SortedSpill = true }},
+		{"combine", func(o *Options) { o.Combine = true }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			gRef := buildDOS(t, edges)
+			refOpts := ckptBaseOpts(gRef)
+			mode.mod(&refOpts)
+			refRes, refVals := runMinLabel(t, gRef, refOpts)
+			if refRes.Iterations < 3 {
+				t.Fatalf("converged in %d iterations; too few for mid-run resume", refRes.Iterations)
+			}
+
+			for k := 1; k < refRes.Iterations; k++ {
+				dir := t.TempDir()
+				g1 := buildDOS(t, edges)
+				opts := ckptBaseOpts(g1)
+				mode.mod(&opts)
+				opts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1, Keep: 1 << 20}
+				runMinLabel(t, g1, opts)
+				st, err := checkpoint.NewStore(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				iters, err := st.Iterations()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, it := range iters {
+					if it > k {
+						os.RemoveAll(filepath.Join(dir, ckptDirName(it)))
+					}
+				}
+
+				g2 := buildDOS(t, edges)
+				ropts := ckptBaseOpts(g2)
+				mode.mod(&ropts)
+				ropts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1, Resume: true}
+				eng := newMinLabelEngine(t, g2, ropts)
+				res, err := eng.Run()
+				if err != nil {
+					t.Fatalf("resume from iteration %d: %v", k, err)
+				}
+				vals, err := eng.Values()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stripDurability(res) != stripDurability(refRes) {
+					t.Errorf("resume from %d: result %+v, uninterrupted %+v", k, res, refRes)
+				}
+				for i := range refVals {
+					if vals[i] != refVals[i] {
+						t.Fatalf("resume from %d: vertex %d = %+v, uninterrupted %+v", k, i, vals[i], refVals[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSortedResumeFromUnsortedCheckpoint resumes a SortedSpill engine
+// from a checkpoint written WITHOUT SortedSpill: the msgs sections carry
+// arrival-order bytes and no runs.<p> section, so the first drain must
+// fall back to arrival-order replay — feeding an unsorted file into the
+// merge heap would scramble per-destination order.
+func TestSortedResumeFromUnsortedCheckpoint(t *testing.T) {
+	edges := gen.RMAT(8, 1500, gen.NaturalRMAT, 75)
+	gRef := buildDOS(t, edges)
+	refRes, refVals := runMinLabel(t, gRef, ckptBaseOpts(gRef))
+	if refRes.Iterations < 3 {
+		t.Fatalf("converged in %d iterations; too few for mid-run resume", refRes.Iterations)
+	}
+
+	k := refRes.Iterations / 2
+	dir := t.TempDir()
+	g1 := buildDOS(t, edges)
+	opts := ckptBaseOpts(g1)
+	opts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1, Keep: 1 << 20}
+	runMinLabel(t, g1, opts)
+	st, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, err := st.Iterations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range iters {
+		if it > k {
+			os.RemoveAll(filepath.Join(dir, ckptDirName(it)))
+		}
+	}
+
+	g2 := buildDOS(t, edges)
+	ropts := ckptBaseOpts(g2)
+	ropts.SortedSpill = true
+	ropts.Checkpoint = CheckpointOptions{Dir: dir, Every: 1, Resume: true}
+	eng := newMinLabelEngine(t, g2, ropts)
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("sorted resume from unsorted checkpoint: %v", err)
+	}
+	vals, err := eng.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed run sorts from the next iteration on, so only the
+	// vertex states (and the counters the drain path cannot change) are
+	// comparable to the all-unsorted reference.
+	if stripSortCounters(stripDurability(res)) != stripSortCounters(stripDurability(refRes)) {
+		t.Errorf("resumed result %+v, uninterrupted unsorted %+v", res, refRes)
+	}
+	for i := range refVals {
+		if vals[i] != refVals[i] {
+			t.Fatalf("vertex %d = %+v, uninterrupted %+v", i, vals[i], refVals[i])
+		}
+	}
+}
+
+// noCombineProgram delegates to minLabel explicitly (NOT by embedding,
+// which would promote Combine) so it satisfies Program but not Combiner.
+type noCombineProgram struct{ inner minLabel }
+
+func (p noCombineProgram) Init(id graph.VertexID, deg uint32) minVal { return p.inner.Init(id, deg) }
+func (p noCombineProgram) Update(ctx *Context[uint32], id graph.VertexID, v *minVal, adj []graph.VertexID) {
+	p.inner.Update(ctx, id, v, adj)
+}
+func (p noCombineProgram) Apply(v *minVal, m uint32) { p.inner.Apply(v, m) }
+
+// TestCombineRequiresCombiner pins New's error when Options.Combine is
+// set for a program without the Combiner hook.
+func TestCombineRequiresCombiner(t *testing.T) {
+	edges := gen.RMAT(6, 200, gen.NaturalRMAT, 76)
+	g := buildDOS(t, edges)
+	_, err := New[minVal, uint32](DOSLayout(g), noCombineProgram{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 64 << 20, DynamicMessages: true, Combine: true})
+	if err == nil {
+		t.Fatal("New accepted Options.Combine for a program without Combine(M, M) M")
+	}
+	if !strings.Contains(err.Error(), "Combine") {
+		t.Errorf("error %q does not mention Combine", err)
+	}
+	// The same program runs fine under plain SortedSpill.
+	eng, err := New[minVal, uint32](DOSLayout(g), noCombineProgram{}, minValCodec{}, graph.Uint32Codec{},
+		Options{MemoryBudget: 64 << 20, DynamicMessages: true, SortedSpill: true})
+	if err != nil {
+		t.Fatalf("SortedSpill without Combine rejected: %v", err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Cleanup()
+}

@@ -10,12 +10,12 @@
 package extsort
 
 import (
-	"container/heap"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 
+	"graphz/internal/obs"
 	"graphz/internal/sim"
 	"graphz/internal/storage"
 )
@@ -54,6 +54,53 @@ type Config struct {
 	// formed, halving the peak device footprint. Use only when the
 	// caller owns the input.
 	RemoveInput bool
+	// Combine, when non-nil, folds the later of two equal-comparing
+	// records into the earlier one in place, during run formation and at
+	// every merge pass. The fold must be commutative and associative:
+	// records may be grouped arbitrarily across passes. The output then
+	// holds one record per distinct key.
+	Combine func(dst, src []byte)
+	// Stats, when non-nil, receives the sort's run/merge/combine totals
+	// and any temp-file removal failures.
+	Stats *Stats
+	// Obs, when non-nil, counts removal failures on
+	// RemoveErrorsCounter; nil disables metric collection.
+	Obs *obs.Registry
+}
+
+// RemoveErrorsCounter is the registry counter incremented when a
+// temporary- or input-file removal fails. It shares its name with the
+// engine's runtime-file cleanup accounting, so one counter tracks every
+// leaked file.
+const RemoveErrorsCounter = "graphz_remove_errors_total"
+
+// Stats reports what one Sort did.
+type Stats struct {
+	// Runs is the number of sorted runs formed from the input.
+	Runs int
+	// MergePasses counts merge passes over the run set (0 when the
+	// input formed at most one run).
+	MergePasses int
+	// RecordsIn/RecordsOut are the record counts read from the input and
+	// written to the output; they differ only when Combine folded some.
+	RecordsIn  int64
+	RecordsOut int64
+	// Combined is the number of records Combine folded away.
+	Combined int64
+	// RemoveErrors counts input/temp removals that failed. The files
+	// leak on the device (its Stats.RemoveErrors counts them too), but
+	// the sorted output is unaffected, so Sort does not fail.
+	RemoveErrors int64
+}
+
+// removeTemp deletes a file Sort no longer needs, surfacing failures in
+// the stats and the metrics registry instead of dropping them: a leaked
+// run is an audit concern, not a sort failure.
+func removeTemp(cfg Config, st *Stats, name string) {
+	if err := cfg.Dev.Remove(name); err != nil {
+		st.RemoveErrors++
+		cfg.Obs.Counter(RemoveErrorsCounter).Inc()
+	}
 }
 
 // Sort sorts the records of the input file into the output file (which is
@@ -78,6 +125,13 @@ func Sort(cfg Config, input, output string) error {
 		cfg.TempPrefix = output + ".run"
 	}
 
+	st := &Stats{}
+	if cfg.Stats != nil {
+		// Registered before the cleanup defers, so it runs after them and
+		// captures their RemoveErrors.
+		defer func() { *cfg.Stats = *st }()
+	}
+
 	in, err := cfg.Dev.Open(input)
 	if err != nil {
 		return fmt.Errorf("extsort: %w", err)
@@ -88,6 +142,7 @@ func Sort(cfg Config, input, output string) error {
 			input, size, cfg.RecordSize)
 	}
 	nRecords := size / int64(cfg.RecordSize)
+	st.RecordsIn = nRecords
 
 	// Charge the comparison work up front: ~N log2 N record moves
 	// across run formation plus all merge passes.
@@ -96,23 +151,24 @@ func Sort(cfg Config, input, output string) error {
 		cfg.Clock.ComputeUnits(nRecords*levels, sim.CostRecordSort)
 	}
 
-	runs, err := formRuns(cfg, in)
+	runs, err := formRuns(cfg, st, in)
 	if err != nil {
 		return err
 	}
+	st.Runs = len(runs)
 	if cfg.RemoveInput {
-		cfg.Dev.Remove(input)
+		removeTemp(cfg, st, input)
 	}
 	defer func() {
 		for _, r := range runs {
-			cfg.Dev.Remove(r)
+			removeTemp(cfg, st, r)
 		}
 	}()
-	return mergeRuns(cfg, runs, output)
+	return mergeRuns(cfg, st, runs, output)
 }
 
 // formRuns splits the input into sorted runs and returns their file names.
-func formRuns(cfg Config, in *storage.File) ([]string, error) {
+func formRuns(cfg Config, st *Stats, in *storage.File) ([]string, error) {
 	recSz := cfg.RecordSize
 	perRun := int(cfg.MemoryBudget) / recSz
 	if perRun < 1 {
@@ -138,6 +194,11 @@ func formRuns(cfg Config, in *storage.File) ([]string, error) {
 			sortChunkByKey(chunk, recSz, cfg.Key)
 		} else {
 			sortChunk(chunk, recSz, cfg.Less)
+		}
+		if cfg.Combine != nil {
+			var folded int64
+			chunk, folded = combineChunk(cfg, chunk)
+			st.Combined += folded
 		}
 		name := fmt.Sprintf("%s%d", cfg.TempPrefix, len(runs))
 		if err := storage.WriteAll(cfg.Dev, name, chunk); err != nil {
@@ -188,7 +249,7 @@ func sortChunk(chunk []byte, recSz int, less func(a, b []byte) bool) {
 
 // mergeRuns merges the runs into output, in as many passes as the fan-in
 // requires. A single run is renamed by copy (the device has no rename).
-func mergeRuns(cfg Config, runs []string, output string) error {
+func mergeRuns(cfg Config, st *Stats, runs []string, output string) error {
 	if len(runs) == 0 {
 		_, err := cfg.Dev.Create(output)
 		return err
@@ -208,17 +269,22 @@ func mergeRuns(cfg Config, runs []string, output string) error {
 			} else {
 				dst = fmt.Sprintf("%s.m%d_%d", cfg.TempPrefix, pass, len(next))
 			}
-			if err := mergeGroup(cfg, group, dst); err != nil {
+			written, err := mergeGroup(cfg, st, group, dst)
+			if err != nil {
 				return err
 			}
+			if dst == output {
+				st.RecordsOut = written
+			}
 			for _, r := range group {
-				cfg.Dev.Remove(r)
+				removeTemp(cfg, st, r)
 			}
 			next = append(next, dst)
 		}
 		runs = next
 		pass++
 	}
+	st.MergePasses = pass
 	if runs[0] != output {
 		data, err := storage.ReadAllFile(cfg.Dev, runs[0])
 		if err != nil {
@@ -227,9 +293,39 @@ func mergeRuns(cfg Config, runs []string, output string) error {
 		if err := storage.WriteAll(cfg.Dev, output, data); err != nil {
 			return err
 		}
-		cfg.Dev.Remove(runs[0])
+		st.RecordsOut = int64(len(data) / cfg.RecordSize)
+		removeTemp(cfg, st, runs[0])
 	}
 	return nil
+}
+
+// combineChunk collapses a sorted chunk's equal-comparing neighbors with
+// cfg.Combine, dispatching on the comparison mode.
+func combineChunk(cfg Config, chunk []byte) ([]byte, int64) {
+	if cfg.Key != nil {
+		return CombineSorted(chunk, cfg.RecordSize, cfg.Key, cfg.Combine)
+	}
+	recSz := cfg.RecordSize
+	n := len(chunk) / recSz
+	if n < 2 {
+		return chunk, 0
+	}
+	w := 0
+	var folded int64
+	for i := 1; i < n; i++ {
+		cur := chunk[i*recSz : (i+1)*recSz]
+		kept := chunk[w*recSz : (w+1)*recSz]
+		if !cfg.Less(kept, cur) && !cfg.Less(cur, kept) {
+			cfg.Combine(kept, cur)
+			folded++
+			continue
+		}
+		w++
+		if w != i {
+			copy(chunk[w*recSz:(w+1)*recSz], cur)
+		}
+	}
+	return chunk[:(w+1)*recSz], folded
 }
 
 // sortChunkByKey sorts records by their uint64 keys, stably.
@@ -261,7 +357,7 @@ func sortChunkByKey(chunk []byte, recSz int, key func([]byte) uint64) {
 
 // mergeSource is one run feeding the merge heap.
 type mergeSource struct {
-	r   *storage.Reader
+	src Source
 	cur []byte
 	key uint64 // cached sort key when key-based sorting is active
 	ord int    // tie-break by run order for stability
@@ -305,50 +401,47 @@ func (h *mergeHeap) Pop() any {
 	return x
 }
 
-// mergeGroup merges a group of sorted runs into dst.
-func mergeGroup(cfg Config, group []string, dst string) error {
-	h := &mergeHeap{less: cfg.Less, keyFn: cfg.Key}
-	for ord, name := range group {
+// mergeGroup merges a group of sorted runs into dst through a streaming
+// Merger, folding equal keys when a Combine hook is configured. It
+// returns the number of records written.
+func mergeGroup(cfg Config, st *Stats, group []string, dst string) (int64, error) {
+	srcs := make([]Source, 0, len(group))
+	for _, name := range group {
 		f, err := cfg.Dev.Open(name)
 		if err != nil {
-			return fmt.Errorf("extsort: opening run: %w", err)
+			return 0, fmt.Errorf("extsort: opening run %q: %w", name, err)
 		}
-		src := &mergeSource{r: storage.NewReader(f), cur: make([]byte, cfg.RecordSize), ord: ord}
-		if err := src.r.ReadFull(src.cur); err != nil {
-			if err == io.EOF {
-				continue // empty run
-			}
-			return fmt.Errorf("extsort: priming run %q: %w", name, err)
-		}
-		if h.keyFn != nil {
-			src.key = h.keyFn(src.cur)
-		}
-		h.src = append(h.src, src)
+		srcs = append(srcs, NewReaderSource(storage.NewReader(f)))
 	}
-	heap.Init(h)
+	m, err := NewMerger(MergeConfig{
+		RecordSize: cfg.RecordSize,
+		Less:       cfg.Less,
+		Key:        cfg.Key,
+		Combine:    cfg.Combine,
+	}, srcs)
+	if err != nil {
+		return 0, err
+	}
 
 	out, err := cfg.Dev.Create(dst)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	w := storage.NewWriter(out)
-	for h.Len() > 0 {
-		src := h.src[0]
-		if _, err := w.Write(src.cur); err != nil {
-			return fmt.Errorf("extsort: writing %q: %w", dst, err)
+	var written int64
+	for {
+		rec, err := m.Next()
+		if err == io.EOF {
+			break
 		}
-		err := src.r.ReadFull(src.cur)
-		switch err {
-		case nil:
-			if h.keyFn != nil {
-				src.key = h.keyFn(src.cur)
-			}
-			heap.Fix(h, 0)
-		case io.EOF:
-			heap.Pop(h)
-		default:
-			return fmt.Errorf("extsort: advancing run: %w", err)
+		if err != nil {
+			return written, err
 		}
+		if _, err := w.Write(rec); err != nil {
+			return written, fmt.Errorf("extsort: writing %q: %w", dst, err)
+		}
+		written++
 	}
-	return w.Flush()
+	st.Combined += m.Combined()
+	return written, w.Flush()
 }

@@ -1,0 +1,204 @@
+package extsort
+
+// Streaming k-way merge over already-sorted record sources, exported so
+// other subsystems can reuse the merge heap without routing their data
+// through Sort's file protocol. The engine's sorted spill drain merges
+// its on-device runs and in-memory buffer tail through a Merger, and the
+// optional Combine hook is the sort-reduce primitive: equal-key records
+// are folded together while they stream through the heap, so k messages
+// to one destination leave the merge as one.
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+
+	"graphz/internal/storage"
+)
+
+// Source yields the records of one sorted run. ReadRecord fills rec with
+// the next record, returning io.EOF (and only io.EOF) once the run is
+// exhausted.
+type Source interface {
+	ReadRecord(rec []byte) error
+}
+
+// readerSource adapts a storage stream (whole-file or range) to a Source.
+type readerSource struct{ r *storage.Reader }
+
+func (s readerSource) ReadRecord(rec []byte) error { return s.r.ReadFull(rec) }
+
+// NewReaderSource wraps a storage.Reader as a merge Source. The reader's
+// range must hold a whole number of records.
+func NewReaderSource(r *storage.Reader) Source { return readerSource{r} }
+
+// sliceSource serves records from an in-memory sorted chunk.
+type sliceSource struct{ data []byte }
+
+// NewSliceSource wraps an in-memory sorted chunk as a merge Source. The
+// slice is consumed in place; it must hold a whole number of records.
+func NewSliceSource(data []byte) Source { return &sliceSource{data: data} }
+
+func (s *sliceSource) ReadRecord(rec []byte) error {
+	if len(s.data) == 0 {
+		return io.EOF
+	}
+	if len(s.data) < len(rec) {
+		return fmt.Errorf("extsort: torn record: %d bytes left, record is %d", len(s.data), len(rec))
+	}
+	copy(rec, s.data[:len(rec)])
+	s.data = s.data[len(rec):]
+	return nil
+}
+
+// MergeConfig configures a streaming Merger.
+type MergeConfig struct {
+	// RecordSize is the fixed record length in bytes.
+	RecordSize int
+	// Less compares two records. Ignored when Key is set.
+	Less func(a, b []byte) bool
+	// Key, when non-nil, maps a record to its uint64 sort key.
+	Key func(rec []byte) uint64
+	// Combine, when non-nil, folds src (the later record in merge order)
+	// into dst in place whenever the two compare equal. The fold must be
+	// commutative and associative in its effect on the eventual consumer:
+	// records may be combined in any grouping across run formation and
+	// merge passes.
+	Combine func(dst, src []byte)
+}
+
+// Merger streams the k-way merge of its sources, one record per Next
+// call, folding equal-key neighbors when a Combine hook is configured.
+type Merger struct {
+	h        *mergeHeap
+	recSz    int
+	combine  func(dst, src []byte)
+	out      []byte
+	outKey   uint64
+	combined int64
+}
+
+// NewMerger primes the sources and builds the merge heap. Empty sources
+// are allowed (they contribute nothing). Source order is the stability
+// tie-break: on equal keys, records from earlier sources win.
+func NewMerger(cfg MergeConfig, srcs []Source) (*Merger, error) {
+	if cfg.RecordSize <= 0 {
+		return nil, fmt.Errorf("extsort: record size %d must be positive", cfg.RecordSize)
+	}
+	if cfg.Less == nil && cfg.Key == nil {
+		return nil, fmt.Errorf("extsort: a Less or Key function is required")
+	}
+	h := &mergeHeap{less: cfg.Less, keyFn: cfg.Key}
+	for ord, s := range srcs {
+		ms := &mergeSource{src: s, cur: make([]byte, cfg.RecordSize), ord: ord}
+		if err := s.ReadRecord(ms.cur); err != nil {
+			if err == io.EOF {
+				continue // empty source
+			}
+			return nil, fmt.Errorf("extsort: priming merge source %d: %w", ord, err)
+		}
+		if h.keyFn != nil {
+			ms.key = h.keyFn(ms.cur)
+		}
+		h.src = append(h.src, ms)
+	}
+	heap.Init(h)
+	return &Merger{
+		h:       h,
+		recSz:   cfg.RecordSize,
+		combine: cfg.Combine,
+		out:     make([]byte, cfg.RecordSize),
+	}, nil
+}
+
+// Next returns the next merged record, valid until the following call.
+// io.EOF signals a completed merge.
+func (m *Merger) Next() ([]byte, error) {
+	if m.h.Len() == 0 {
+		return nil, io.EOF
+	}
+	top := m.h.src[0]
+	copy(m.out, top.cur)
+	m.outKey = top.key
+	if err := m.advanceHead(); err != nil {
+		return nil, err
+	}
+	if m.combine != nil {
+		for m.h.Len() > 0 && m.headEqualsOut() {
+			m.combine(m.out, m.h.src[0].cur)
+			m.combined++
+			if err := m.advanceHead(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m.out, nil
+}
+
+// Combined returns how many records Next has folded away so far.
+func (m *Merger) Combined() int64 { return m.combined }
+
+// headEqualsOut reports whether the heap's current head sorts equal to
+// the record pending in m.out.
+func (m *Merger) headEqualsOut() bool {
+	if m.h.keyFn != nil {
+		return m.h.src[0].key == m.outKey
+	}
+	cur := m.h.src[0].cur
+	return !m.h.less(m.out, cur) && !m.h.less(cur, m.out)
+}
+
+// advanceHead replaces the heap head's record with its source's next one,
+// dropping the source at EOF.
+func (m *Merger) advanceHead() error {
+	top := m.h.src[0]
+	err := top.src.ReadRecord(top.cur)
+	switch err {
+	case nil:
+		if m.h.keyFn != nil {
+			top.key = m.h.keyFn(top.cur)
+		}
+		heap.Fix(m.h, 0)
+		return nil
+	case io.EOF:
+		heap.Pop(m.h)
+		return nil
+	default:
+		return fmt.Errorf("extsort: advancing merge source %d: %w", top.ord, err)
+	}
+}
+
+// SortRecords stably sorts chunk's fixed-size records in place by their
+// uint64 keys (ascending). Exported for callers that form sorted runs
+// outside Sort's file protocol, like the engine's spill buffers.
+func SortRecords(chunk []byte, recSz int, key func([]byte) uint64) {
+	sortChunkByKey(chunk, recSz, key)
+}
+
+// CombineSorted collapses adjacent equal-key records of a sorted chunk in
+// place, folding each later record into its predecessor with combine. It
+// returns the shortened chunk and the number of records folded away.
+func CombineSorted(chunk []byte, recSz int, key func([]byte) uint64, combine func(dst, src []byte)) ([]byte, int64) {
+	n := len(chunk) / recSz
+	if n < 2 {
+		return chunk, 0
+	}
+	w := 0 // index of the last kept record
+	wk := key(chunk[:recSz])
+	var folded int64
+	for i := 1; i < n; i++ {
+		cur := chunk[i*recSz : (i+1)*recSz]
+		k := key(cur)
+		if k == wk {
+			combine(chunk[w*recSz:(w+1)*recSz], cur)
+			folded++
+			continue
+		}
+		w++
+		if w != i {
+			copy(chunk[w*recSz:(w+1)*recSz], cur)
+		}
+		wk = k
+	}
+	return chunk[:(w+1)*recSz], folded
+}
