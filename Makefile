@@ -18,7 +18,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/checkpoint/... ./internal/storage/... ./internal/bench/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/checkpoint/... ./internal/storage/... ./internal/bench/... ./internal/serve/...
 
 bench:
 	$(GO) test -bench BenchmarkEngine -benchmem -run '^$$' ./internal/core/
@@ -39,14 +39,18 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # smoke runs the randomized crash-recovery property tests (engines killed
-# at random device operations must resume to byte-identical results) and
-# a run-report round trip: a profiled run writes its artifact, and
-# graphz-report must render and self-diff it cleanly.
+# at random device operations must resume to byte-identical results), a
+# run-report round trip (a profiled run writes its artifact, and
+# graphz-report must render and self-diff it cleanly), and the
+# graphz-serve end-to-end session: boot on a free port, submit BFS and
+# PageRank jobs, poll to completion, fetch results and reports, cancel,
+# and drain on SIGINT.
 smoke:
 	$(GO) test -run 'TestCrashRecovery' -count=1 -v ./internal/core/
 	$(GO) run ./cmd/graphz-run -gen rmat -gen-scale 8 -gen-edges 2000 -seed 7 -algo cc -report RUNREPORT_smoke.json
 	$(GO) run ./cmd/graphz-report show RUNREPORT_smoke.json
 	$(GO) run ./cmd/graphz-report diff RUNREPORT_smoke.json RUNREPORT_smoke.json
+	$(GO) test -run 'TestServe' -count=1 -v ./cmd/graphz-serve/
 
 # run-report emits the reference profiled run's artifact (stage totals,
 # memory timeline, block heatmap) for the CI bench job to upload next to

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"graphz/internal/algo/chialgo"
 	"graphz/internal/algo/graphzalgo"
@@ -37,7 +39,20 @@ import (
 	"graphz/internal/xstream"
 )
 
+// exitHooks run on every exit path — normal return and fatal() — so
+// resources like the metrics server drain even when the run dies early.
+var exitHooks []func()
+
+func runExitHooks() {
+	hooks := exitHooks
+	exitHooks = nil
+	for i := len(hooks) - 1; i >= 0; i-- {
+		hooks[i]()
+	}
+}
+
 func main() {
+	defer runExitHooks()
 	var (
 		in      = flag.String("in", "", "input raw edge file (required)")
 		algo    = flag.String("algo", "pr", "algorithm: pr, bfs, cc, sssp, bp, rw")
@@ -155,9 +170,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		exitHooks = append(exitHooks, func() {
+			if err := obs.DrainShutdown(srv, time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "graphz-run: metrics drain:", err)
+			}
+		})
 		fmt.Printf("metrics: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
 	}
+
+	// SIGINT/SIGTERM cancel the run at the next partition boundary
+	// instead of killing the process mid-write.
+	ctx, stop := obs.SignalContext(context.Background())
+	defer stop()
 
 	var (
 		iterations int
@@ -178,7 +202,7 @@ func main() {
 				}
 			}
 		}
-		iterations, values, err = runGraphZ(dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *sel, *sorted, *comb, *workers, ck)
+		iterations, values, err = runGraphZ(ctx, dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *sel, *sorted, *comb, *workers, ck)
 	case "graphchi":
 		iterations, values, err = runGraphChi(dev, clock, reg, tracer, *algo, *budget, *iters, src)
 	case "xstream":
@@ -248,6 +272,7 @@ func main() {
 	}
 	printTop(values, *top)
 	if traceBroken {
+		runExitHooks()
 		os.Exit(1)
 	}
 }
@@ -272,7 +297,7 @@ func importDOS(dev *storage.Device, prefix string) error {
 
 // runGraphZ preprocesses to DOS (or loads a pre-converted graph) and runs
 // the algorithm, returning values keyed by original IDs.
-func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj, selective, sortedSpill, combine bool, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
+func runGraphZ(ctx context.Context, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj, selective, sortedSpill, combine bool, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
 	var g *dos.Graph
 	var err error
 	if preconverted {
@@ -292,7 +317,7 @@ func runGraphZ(dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer 
 		return 0, nil, err
 	}
 	opts := core.Options{
-		MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
+		Context: ctx, MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
 		ParallelDrain: pdrain, CacheAdjacency: cacheAdj, WorkerParallelism: workers,
 		SelectiveScheduling: selective, SortedSpill: sortedSpill, Combine: combine,
 		Obs: reg, Trace: tracer, Checkpoint: ck,
@@ -555,5 +580,6 @@ func printTop(values map[graph.VertexID]float64, n int) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "graphz-run:", err)
+	runExitHooks()
 	os.Exit(1)
 }

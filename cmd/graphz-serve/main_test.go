@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildServe compiles graphz-serve into a temp dir.
+func buildServe(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and execs the command")
+	}
+	bin := filepath.Join(t.TempDir(), "graphz-serve")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServe boots the daemon on a free port and returns its base URL
+// plus the running command. The caller must wait on done after killing.
+func startServe(t *testing.T, bin string, extraArgs ...string) (url string, cmd *exec.Cmd, done chan error) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-gen", "g=rmat,scale=9,edges=4000,seed=11",
+	}, extraArgs...)
+	cmd = exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done = make(chan error, 1)
+	// Scan stdout for the serving line, then keep draining so the child
+	// never blocks on a full pipe.
+	lines := bufio.NewScanner(stdout)
+	for lines.Scan() {
+		line := lines.Text()
+		if rest, ok := strings.CutPrefix(line, "graphz-serve: serving on "); ok {
+			url = rest
+			break
+		}
+	}
+	if url == "" {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+		t.Fatalf("no serving line; stderr:\n%s", stderr.String())
+	}
+	go func() {
+		io.Copy(io.Discard, stdout) //nolint:errcheck
+		done <- cmd.Wait()
+	}()
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill() //nolint:errcheck
+			<-done
+		}
+	})
+	return url, cmd, done
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func submit(t *testing.T, url, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit %s = %d: %v", body, resp.StatusCode, st)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, url, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st map[string]any
+		getJSON(t, url+"/jobs/"+id, &st)
+		switch st["state"] {
+		case "done", "failed", "cancelled":
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %v", id, st["state"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeSmoke is the end-to-end session the Makefile smoke target
+// runs: boot, submit BFS and PageRank, poll to completion, fetch results
+// and reports, exercise cancel, shut down cleanly with SIGINT.
+func TestServeSmoke(t *testing.T) {
+	bin := buildServe(t)
+	url, cmd, done := startServe(t, bin)
+
+	var graphs []map[string]any
+	if code := getJSON(t, url+"/graphs", &graphs); code != 200 || len(graphs) != 1 {
+		t.Fatalf("graphs: %d %v", code, graphs)
+	}
+
+	bfs := submit(t, url, `{"graph":"g","algo":"bfs"}`)
+	pr := submit(t, url, `{"graph":"g","algo":"pagerank","iterations":5}`)
+	for _, id := range []string{bfs["id"].(string), pr["id"].(string)} {
+		st := waitTerminal(t, url, id)
+		if st["state"] != "done" {
+			t.Fatalf("job %s: %v (%v)", id, st["state"], st["error"])
+		}
+	}
+
+	// Second BFS must hit the shared adjacency: zero codec decodes.
+	bfs2 := submit(t, url, `{"graph":"g","algo":"bfs"}`)
+	st2 := waitTerminal(t, url, bfs2["id"].(string))
+	if st2["state"] != "done" {
+		t.Fatalf("warm bfs: %v (%v)", st2["state"], st2["error"])
+	}
+	if enc, ok := st2["codec_bytes_encoded"].(float64); !ok || enc != 0 {
+		t.Errorf("warm job decoded %v codec bytes, want 0", st2["codec_bytes_encoded"])
+	}
+
+	var res map[string]any
+	if code := getJSON(t, url+"/jobs/"+bfs["id"].(string)+"/result?top=5", &res); code != 200 {
+		t.Fatalf("result = %d", code)
+	}
+	if top, _ := res["top"].([]any); len(top) != 5 {
+		t.Fatalf("top = %v", res["top"])
+	}
+	var report map[string]any
+	if code := getJSON(t, url+"/jobs/"+pr["id"].(string)+"/report", &report); code != 200 ||
+		report["engine"] != "graphz-serve" {
+		t.Fatalf("report: %d engine=%v", code, report["engine"])
+	}
+
+	// Cancel: submit then immediately DELETE; accept a natural finish if
+	// the race goes the job's way, but the request itself must succeed.
+	c := submit(t, url, `{"graph":"g","algo":"pagerank","iterations":50}`)
+	req, _ := http.NewRequest("DELETE", url+"/jobs/"+c["id"].(string), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	cst := waitTerminal(t, url, c["id"].(string))
+	if s := cst["state"]; s != "cancelled" && s != "done" {
+		t.Fatalf("cancelled job state = %v", s)
+	}
+
+	var metrics string
+	{
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		metrics = string(b)
+	}
+	for _, want := range []string{"graphz_serve_budget_total_bytes", `state="done"`} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful shutdown: SIGINT must produce a clean exit.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after SIGINT: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGINT")
+	}
+}
+
+// TestServeRequiresGraph checks the no-graphs usage error path.
+func TestServeRequiresGraph(t *testing.T) {
+	bin := buildServe(t)
+	out, err := exec.Command(bin, "-addr", "127.0.0.1:0").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected usage failure, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "at least one") {
+		t.Fatalf("unexpected usage output:\n%s", out)
+	}
+}
+
+// TestServeAdmissionOverHTTP boots with a budget that admits the graph
+// but rejects oversized jobs with 400.
+func TestServeAdmissionOverHTTP(t *testing.T) {
+	bin := buildServe(t)
+	url, _, _ := startServe(t, bin)
+
+	var graphs []map[string]any
+	getJSON(t, url+"/graphs", &graphs)
+	resident := int64(graphs[0]["resident_bytes"].(float64))
+
+	body := fmt.Sprintf(`{"graph":"g","algo":"bfs","budget":%d}`, 512<<20)
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("oversized job (resident %d) = %d, want 400", resident, resp.StatusCode)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"graphz/internal/algo/chialgo"
-	"graphz/internal/algo/graphzalgo"
 	"graphz/internal/algo/xsalgo"
 	"graphz/internal/core"
 	"graphz/internal/csr"
@@ -314,27 +313,7 @@ func runGraphZ(cfg RunConfig, dev *storage.Device, clock *sim.Clock, reg *obs.Re
 		source = sourceFor(cfg.Scale) // CSR keeps natural IDs
 	}
 
-	var res core.Result
-	var err error
-	switch cfg.Algo {
-	case PR:
-		res, _, err = graphzalgo.PageRankLayout(layout, opts, prIterations, prDamping)
-	case BFS:
-		opts.MaxIterations = maxConvergeIters
-		res, _, err = graphzalgo.BFSLayout(layout, opts, source)
-	case CC:
-		opts.MaxIterations = maxConvergeIters
-		res, _, err = graphzalgo.ConnectedComponentsLayout(layout, opts)
-	case SSSP:
-		opts.MaxIterations = maxConvergeIters
-		res, _, err = graphzalgo.SSSPLayout(layout, opts, source)
-	case BP:
-		res, _, err = graphzalgo.BeliefPropagationLayout(layout, opts, bpIterations)
-	case RW:
-		res, _, err = graphzalgo.RandomWalkLayout(layout, opts, rwIterations, rwWalkers)
-	default:
-		err = fmt.Errorf("bench: unknown algorithm %q", cfg.Algo)
-	}
+	res, _, err := ExecAlgo(cfg.Algo, layout, opts, AlgoParams{Source: source})
 	if err != nil {
 		return err
 	}

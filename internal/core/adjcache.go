@@ -46,8 +46,16 @@ func (s *memEntryStream) next() (graph.VertexID, error) {
 func (s *memEntryStream) stop() {}
 
 // maybeEnableAdjCache decides (post-plan) whether the adjacency fits the
-// leftover budget and sets up the cache slots.
+// leftover budget and sets up the cache slots. A shared adjacency cache
+// (Options.SharedAdjacency) always enables the cached path — its bytes
+// are accounted by the cache's owner, not this engine's budget — with
+// the per-partition slots becoming views into the shared entries.
 func (e *Engine[V, M]) maybeEnableAdjCache() {
+	if e.opts.SharedAdjacency != nil {
+		e.adjCache = make([][]byte, e.NumPartitions())
+		e.cacheOn = true
+		return
+	}
 	if !e.opts.CacheAdjacency {
 		return
 	}
@@ -74,6 +82,21 @@ func (e *Engine[V, M]) maybeEnableAdjCache() {
 func (e *Engine[V, M]) ensureAdjCached(p int, start, end int64, ps *pipeStats) error {
 	if e.adjCache[p] != nil {
 		if ps != nil {
+			ps.cacheHit = true
+		}
+		return nil
+	}
+	if s := e.opts.SharedAdjacency; s != nil {
+		// The shared cache fills the whole file once (whichever engine
+		// gets there first pays); this partition's slot becomes a
+		// zero-copy view into the resident entries, so every downstream
+		// consumer — sequential, selective, parallel — is unchanged.
+		data, filled, err := s.slice(start, end, ps)
+		if err != nil {
+			return fmt.Errorf("core: shared adjacency of partition %d: %w", p, err)
+		}
+		e.adjCache[p] = data
+		if filled && ps != nil {
 			ps.cacheHit = true
 		}
 		return nil

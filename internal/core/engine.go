@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -97,6 +98,21 @@ type Options struct {
 	// MemoryBudget bounds the engine-resident bytes: vertex index,
 	// partition vertex states, message buffers, and pipeline blocks.
 	MemoryBudget int64
+	// Context, when non-nil, makes the run cancellable: the engine
+	// checks it at every partition boundary (and before the run starts)
+	// and aborts with an error matching both ErrCancelled and the
+	// context's own cause. A cancelled run leaves its runtime files on
+	// the device; call Cleanup to drop them.
+	Context context.Context
+	// SharedAdjacency serves the adjacency from a resident decoded-entry
+	// cache shared with other engines (created via NewSharedGraph /
+	// NewSharedAdjacency, typically by a serving process). It implies
+	// CacheAdjacency semantics but is NOT charged against this engine's
+	// MemoryBudget — the cache's owner accounts for SharedAdjacency.Bytes
+	// once, instead of every job paying (and re-reading) it. New fails
+	// with ErrInvalidOptions if the cache does not belong to the
+	// layout's edges file.
+	SharedAdjacency *SharedAdjacency
 	// MaxIterations stops the run after this many iterations; 0 means
 	// run until convergence (no activity and no messages).
 	MaxIterations int
@@ -206,6 +222,18 @@ func DefaultOptions(budget int64) Options {
 // budget — the failure mode that stops index-heavy systems on the xlarge
 // graph in the paper's Figure 5.
 var ErrMemoryBudget = errors.New("core: memory budget exceeded")
+
+// ErrInvalidOptions reports a configuration New rejects outright — a
+// non-positive budget, Options.Combine on a program without a Combiner,
+// a shared adjacency that belongs to a different graph. It marks errors
+// a caller caused (a serving API maps it to HTTP 400), as opposed to
+// runtime failures. Match with errors.Is.
+var ErrInvalidOptions = errors.New("core: invalid options")
+
+// ErrCancelled reports a run aborted because Options.Context was
+// cancelled. The returned error also matches the context's own error
+// (context.Canceled or context.DeadlineExceeded) via errors.Is.
+var ErrCancelled = errors.New("core: run cancelled")
 
 // pipelineOverheadBytes approximates the fixed buffers of the
 // Sio/Dispatcher pipeline (prefetch blocks and staging).
@@ -343,7 +371,7 @@ func New[V, M any](layout Layout, prog Program[V, M], vcodec graph.Codec[V], mco
 		opts.MsgBufferBytes = minBuf
 	}
 	if opts.MemoryBudget <= 0 {
-		return nil, fmt.Errorf("core: memory budget must be positive")
+		return nil, fmt.Errorf("%w: memory budget must be positive, got %d", ErrInvalidOptions, opts.MemoryBudget)
 	}
 	if opts.Combine {
 		opts.SortedSpill = true
@@ -363,9 +391,14 @@ func New[V, M any](layout Layout, prog Program[V, M], vcodec graph.Codec[V], mco
 	if opts.Combine {
 		c, ok := any(prog).(Combiner[M])
 		if !ok {
-			return nil, fmt.Errorf("core: Options.Combine requires the program to implement Combine(M, M) M; %T does not", prog)
+			return nil, fmt.Errorf("%w: Options.Combine requires the program to implement Combine(M, M) M; %T does not", ErrInvalidOptions, prog)
 		}
 		e.combineFn = c.Combine
+	}
+	if opts.SharedAdjacency != nil && !opts.SharedAdjacency.matches(layout) {
+		return nil, fmt.Errorf("%w: shared adjacency belongs to %q (%d entries), layout reads %q (%d entries)",
+			ErrInvalidOptions, opts.SharedAdjacency.file, opts.SharedAdjacency.entries,
+			layout.EdgesFile(), layout.NumEdges())
 	}
 	if err := e.plan(); err != nil {
 		return nil, err
@@ -472,6 +505,9 @@ func (e *Engine[V, M]) Run() (Result, error) {
 	if e.finished {
 		return Result{}, fmt.Errorf("core: engine already ran; create a new one")
 	}
+	if err := e.ctxErr(); err != nil {
+		return Result{}, err
+	}
 	if err := e.layout.LoadIndex(); err != nil {
 		return Result{}, err
 	}
@@ -526,6 +562,13 @@ func (e *Engine[V, M]) loop(startIter int) (Result, error) {
 			devBefore = e.dev.Stats()
 		}
 		for p := 0; p < nParts; p++ {
+			// Cancellation is honored at partition boundaries: the
+			// per-run state is never left mid-partition, so a cancelled
+			// job's budget can be released immediately and its files
+			// removed without draining anything.
+			if err := e.ctxErr(); err != nil {
+				return Result{}, err
+			}
 			err := e.runPartition(p, iters, row)
 			// A deferred spill failure predates whatever the partition
 			// tripped over afterwards (often a knock-on effect of the
@@ -638,6 +681,22 @@ func (e *Engine[V, M]) result(iters, nParts int) Result {
 		CodecBytesEncoded: e.codecEncBytes,
 		DecodeTime:        time.Duration(e.codecDecodeNS),
 		Stages:            e.stageTotals,
+	}
+}
+
+// ctxErr reports cancellation of the run's context: nil while the run
+// may continue, an error matching both ErrCancelled and the context's
+// cause once Options.Context is done.
+func (e *Engine[V, M]) ctxErr() error {
+	ctx := e.opts.Context
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
+	default:
+		return nil
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -47,5 +48,10 @@ func StartMetricsServer(addr string, reg *Registry) (*MetricsServer, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *MetricsServer) Addr() string { return s.l.Addr().String() }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight requests. For a
+// clean exit prefer Shutdown (or the DrainShutdown helper).
 func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting connections and waits for in-flight requests
+// until ctx expires, mirroring http.Server.Shutdown.
+func (s *MetricsServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

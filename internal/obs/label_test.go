@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLabelName(t *testing.T) {
+	cases := []struct {
+		base string
+		kv   []string
+		want string
+	}{
+		{"m", nil, "m"},
+		{"m", []string{"job", "j-1"}, `m{job="j-1"}`},
+		{"m", []string{"job", "j-1", "algo", "BFS"}, `m{job="j-1",algo="BFS"}`},
+		{"m", []string{"v", `a"b\c` + "\n"}, `m{v="a\"b\\c\n"}`},
+	}
+	for _, c := range cases {
+		if got := LabelName(c.base, c.kv...); got != c.want {
+			t.Errorf("LabelName(%q, %v) = %q, want %q", c.base, c.kv, got, c.want)
+		}
+	}
+}
+
+// TestWritePrometheusLabelFamilies: labeled series must render under one
+// # TYPE line per base name, even when an unrelated metric sorts between
+// the unlabeled and labeled spellings.
+func TestWritePrometheusLabelFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("graphz_jobs_total").Add(3)
+	r.Counter(LabelName("graphz_jobs_total", "algo", "BFS")).Add(2)
+	r.Counter(LabelName("graphz_jobs_total", "algo", "PR")).Add(1)
+	r.Counter("graphz_jobs_total_errors").Inc() // sorts between the above
+	r.Gauge(LabelName("graphz_budget_bytes", "kind", "used")).Set(42)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if got := strings.Count(out, "# TYPE graphz_jobs_total counter"); got != 1 {
+		t.Errorf("TYPE lines for graphz_jobs_total = %d, want 1\n%s", got, out)
+	}
+	if got := strings.Count(out, "# TYPE graphz_budget_bytes gauge"); got != 1 {
+		t.Errorf("TYPE lines for graphz_budget_bytes = %d, want 1\n%s", got, out)
+	}
+	// Each family's TYPE line immediately precedes its first sample, and
+	// every series of the family follows before the next TYPE line.
+	i := strings.Index(out, "# TYPE graphz_jobs_total counter\n")
+	if i < 0 {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	rest := out[i+len("# TYPE graphz_jobs_total counter\n"):]
+	block := rest
+	if j := strings.Index(rest, "# TYPE"); j >= 0 {
+		block = rest[:j]
+	}
+	for _, want := range []string{
+		"graphz_jobs_total 3\n",
+		`graphz_jobs_total{algo="BFS"} 2` + "\n",
+		`graphz_jobs_total{algo="PR"} 1` + "\n",
+	} {
+		if !strings.Contains(block, want) {
+			t.Errorf("family block missing %q:\n%s", want, block)
+		}
+	}
+	if strings.Contains(block, "graphz_jobs_total_errors") {
+		t.Errorf("foreign series inside the family block:\n%s", block)
+	}
+}
+
+func TestMetricsServerShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	s, err := StartMetricsServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Shutdown")
+	}
+}
+
+func TestDrainShutdown(t *testing.T) {
+	reg := NewRegistry()
+	s, err := StartMetricsServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DrainShutdown(s, time.Second); err != nil {
+		t.Fatalf("DrainShutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after DrainShutdown")
+	}
+}

@@ -15,10 +15,59 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// LabelName embeds Prometheus-style labels in a series name:
+// LabelName("graphz_job_iterations", "job", "j-3") returns
+// `graphz_job_iterations{job="j-3"}`. The registry treats the result as an
+// ordinary instrument name — there is no label-aware index — but
+// WritePrometheus groups every series sharing a base name under a single
+// # TYPE line, so labeled counters and gauges render as one metric family
+// with many series, exactly what a scraper expects. kv alternates key,
+// value; label values are escaped per the text exposition format.
+// Histograms do not support labeled names (their rendered _bucket/_sum
+// suffixes would land inside the braces); keep histogram names plain.
+func LabelName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the text-format label escapes: backslash,
+// double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// baseName strips an embedded label set: `name{...}` → `name`.
+func baseName(n string) string {
+	if i := strings.IndexByte(n, '{'); i >= 0 {
+		return n[:i]
+	}
+	return n
+}
 
 // Counter is a monotonically increasing atomic counter. A nil *Counter is
 // valid and ignores all writes — the disabled fast path.
@@ -364,15 +413,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.Unlock()
 
-	for _, n := range sortedKeys(counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n]); err != nil {
-			return err
-		}
+	if err := writeFamilies(w, counters, "counter"); err != nil {
+		return err
 	}
-	for _, n := range sortedKeys(gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[n]); err != nil {
-			return err
-		}
+	if err := writeFamilies(w, gauges, "gauge"); err != nil {
+		return err
 	}
 	names := make([]string, 0, len(hists))
 	for n := range hists {
@@ -403,11 +448,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func sortedKeys(m map[string]int64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// writeFamilies renders counters or gauges grouped into metric families:
+// one # TYPE line per base name, then every series of that family (the
+// unlabeled series plus any LabelName variants) in sorted order. Grouping
+// matters because plain sorted order interleaves families — "job_x" sorts
+// between "job" and `job{...}` — and the exposition format requires each
+// family's TYPE line to appear exactly once, before its first sample.
+func writeFamilies(w io.Writer, vals map[string]int64, typ string) error {
+	families := make(map[string][]string)
+	for n := range vals {
+		b := baseName(n)
+		families[b] = append(families[b], n)
 	}
-	sort.Strings(keys)
-	return keys
+	bases := make([]string, 0, len(families))
+	for b := range families {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, b := range bases {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", b, typ); err != nil {
+			return err
+		}
+		series := families[b]
+		sort.Strings(series)
+		for _, n := range series {
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, vals[n]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

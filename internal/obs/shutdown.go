@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Graceful-shutdown plumbing shared by every long-running command
+// (graphz-run's -metrics-addr endpoint, the graphz-serve daemon): a
+// signal-bound context to stop accepting work, and a bounded drain for
+// the HTTP servers still answering it.
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM (and
+// when parent is cancelled). The returned stop function releases the
+// signal registration; after the first signal cancels the context, a
+// second signal falls through to the default handler and kills the
+// process — the escape hatch when a drain hangs.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Drainable is an HTTP server that can drain gracefully with a deadline
+// or stop abruptly: *http.Server and *MetricsServer both qualify.
+type Drainable interface {
+	Shutdown(context.Context) error
+	Close() error
+}
+
+// DrainShutdown shuts s down gracefully, waiting up to timeout for
+// in-flight requests; if the drain deadline expires (or Shutdown fails)
+// it forces Close so the caller never hangs on exit. It returns the
+// Shutdown error, if any.
+func DrainShutdown(s Drainable, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		s.Close() //nolint:errcheck // best-effort after a failed drain
+		return err
+	}
+	return nil
+}
