@@ -41,15 +41,21 @@ cover:
 # smoke runs the randomized crash-recovery property tests (engines killed
 # at random device operations must resume to byte-identical results), a
 # run-report round trip (a profiled run writes its artifact, and
-# graphz-report must render and self-diff it cleanly), and the
-# graphz-serve end-to-end session: boot on a free port, submit BFS and
-# PageRank jobs, poll to completion, fetch results and reports, cancel,
-# and drain on SIGINT.
+# graphz-report must render and self-diff it cleanly), the semi-external
+# differential at the exec level (the same generated graph run with
+# -sem on and -sem off must print byte-identical results, and the SEM
+# run's report must render), and the graphz-serve end-to-end session:
+# boot on a free port, submit BFS and PageRank jobs, poll to completion,
+# fetch results and reports, cancel, and drain on SIGINT.
 smoke:
 	$(GO) test -run 'TestCrashRecovery' -count=1 -v ./internal/core/
 	$(GO) run ./cmd/graphz-run -gen rmat -gen-scale 8 -gen-edges 2000 -seed 7 -algo cc -report RUNREPORT_smoke.json
 	$(GO) run ./cmd/graphz-report show RUNREPORT_smoke.json
 	$(GO) run ./cmd/graphz-report diff RUNREPORT_smoke.json RUNREPORT_smoke.json
+	$(GO) run ./cmd/graphz-run -gen zipf -gen-vertices 4000 -gen-edges 30000 -seed 9 -algo cc -sem on -top 20 -report RUNREPORT_sem.json | grep -A20 'top 20 vertices' > SEM_on.txt
+	$(GO) run ./cmd/graphz-run -gen zipf -gen-vertices 4000 -gen-edges 30000 -seed 9 -algo cc -sem off -top 20 | grep -A20 'top 20 vertices' > SEM_off.txt
+	diff SEM_on.txt SEM_off.txt && rm -f SEM_on.txt SEM_off.txt
+	$(GO) run ./cmd/graphz-report show RUNREPORT_sem.json
 	$(GO) test -run 'TestServe' -count=1 -v ./cmd/graphz-serve/
 
 # run-report emits the reference profiled run's artifact (stage totals,
@@ -60,12 +66,14 @@ run-report:
 	$(GO) run ./cmd/graphz-run -gen rmat -gen-scale 10 -gen-edges 8192 -seed 7 -algo pr -report RUNREPORT_run.json
 	$(GO) run ./cmd/graphz-report show RUNREPORT_run.json
 
-# fuzz-short gives each DOS parser fuzz target a small budget — the CI
-# smoke setting. The checked-in seed corpus under internal/dos/testdata
-# replays on every plain `go test` run regardless.
+# fuzz-short gives each DOS parser fuzz target a bounded budget — 10s
+# locally, FUZZTIME=30s in the CI fuzz job (which also caches the
+# generated corpus across runs). The checked-in seed corpus under
+# internal/dos/testdata replays on every plain `go test` run regardless.
+FUZZTIME ?= 10s
 fuzz-short:
-	$(GO) test -run '^$$' -fuzz '^FuzzMetaParse$$' -fuzztime 10s ./internal/dos/
-	$(GO) test -run '^$$' -fuzz '^FuzzEdgesDecode$$' -fuzztime 10s ./internal/dos/
-	$(GO) test -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime 10s ./internal/dos/
+	$(GO) test -run '^$$' -fuzz '^FuzzMetaParse$$' -fuzztime $(FUZZTIME) ./internal/dos/
+	$(GO) test -run '^$$' -fuzz '^FuzzEdgesDecode$$' -fuzztime $(FUZZTIME) ./internal/dos/
+	$(GO) test -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime $(FUZZTIME) ./internal/dos/
 
 check: fmt vet race test

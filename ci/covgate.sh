@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# covgate.sh FLOOR PKG [PKG...] — run `go test -cover` on the packages
+# and fail if any reports statement coverage below FLOOR percent.
+# Emits GitHub Actions ::error annotations per failing package, so the
+# same script works locally (plain text) and in CI (annotated).
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 FLOOR PKG [PKG...]" >&2
+    exit 2
+fi
+floor=$1
+shift
+
+out=$(go test -cover "$@")
+echo "$out"
+echo "$out" | awk -v floor="$floor" '/coverage:/ {
+    pct = $0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct)
+    if (pct + 0 < floor + 0) {
+        printf "::error::%s coverage %s%% is below the %s%% floor\n", $2, pct, floor
+        fail = 1
+    }
+} END { exit fail }'

@@ -67,6 +67,7 @@ func main() {
 		cache   = flag.Bool("cache-adjacency", false, "graphz: keep adjacency resident when it fits the budget")
 		sel     = flag.Bool("selective", false, "graphz: skip adjacency blocks with no active vertex and no pending message (selective block scheduling; see DESIGN.md §9)")
 		sorted  = flag.Bool("sorted-spill", false, "graphz: sort spilled cross-partition messages by destination and merge-sort them at drain time (see DESIGN.md §11)")
+		semF    = flag.String("sem", "auto", "graphz: semi-external-memory mode — auto (pin all vertex states resident when they fit the budget), on (force; fails if they don't fit), off (always partition); see DESIGN.md §13")
 		comb    = flag.Bool("combine", false, "graphz: fold same-destination messages with the program's Combine hook (pr/bfs/cc/sssp; implies -sorted-spill)")
 		top     = flag.Int("top", 5, "print the top-N result vertices")
 		maddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this address while the run is live (e.g. :8080, or :0 for a free port)")
@@ -94,6 +95,13 @@ func main() {
 	}
 	if (*sorted || *comb) && *engine != "graphz" {
 		fatal(fmt.Errorf("-sorted-spill/-combine need -engine graphz, got %q", *engine))
+	}
+	semMode, err := core.ParseSemMode(*semF)
+	if err != nil {
+		fatal(err)
+	}
+	if semMode != core.SemAuto && *engine != "graphz" {
+		fatal(fmt.Errorf("-sem needs -engine graphz, got %q", *engine))
 	}
 	if *resume && *ckDir == "" {
 		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
@@ -202,7 +210,7 @@ func main() {
 				}
 			}
 		}
-		iterations, values, err = runGraphZ(ctx, dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *sel, *sorted, *comb, *workers, ck)
+		iterations, values, err = runGraphZ(ctx, dev, clock, reg, tracer, *algo, *budget, *iters, src, *dosPfx != "", *pdrain, *cache, *sel, *sorted, *comb, semMode, *workers, ck)
 	case "graphchi":
 		iterations, values, err = runGraphChi(dev, clock, reg, tracer, *algo, *budget, *iters, src)
 	case "xstream":
@@ -248,6 +256,7 @@ func main() {
 				"selective":    fmt.Sprint(*sel),
 				"sorted_spill": fmt.Sprint(*sorted || *comb),
 				"combine":      fmt.Sprint(*comb),
+				"sem":          semMode.String(),
 			},
 		}, reg, tracer, core.DeviceFileIO(dev))
 		if err := report.WriteFile(*repTo); err != nil {
@@ -297,7 +306,7 @@ func importDOS(dev *storage.Device, prefix string) error {
 
 // runGraphZ preprocesses to DOS (or loads a pre-converted graph) and runs
 // the algorithm, returning values keyed by original IDs.
-func runGraphZ(ctx context.Context, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj, selective, sortedSpill, combine bool, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
+func runGraphZ(ctx context.Context, dev *storage.Device, clock *sim.Clock, reg *obs.Registry, tracer *obs.Tracer, algo string, budget int64, iters int, src graph.VertexID, preconverted, pdrain, cacheAdj, selective, sortedSpill, combine bool, sem core.SemMode, workers int, ck core.CheckpointOptions) (int, map[graph.VertexID]float64, error) {
 	var g *dos.Graph
 	var err error
 	if preconverted {
@@ -320,7 +329,7 @@ func runGraphZ(ctx context.Context, dev *storage.Device, clock *sim.Clock, reg *
 		Context: ctx, MemoryBudget: budget, Clock: clock, DynamicMessages: true, MaxIterations: 200,
 		ParallelDrain: pdrain, CacheAdjacency: cacheAdj, WorkerParallelism: workers,
 		SelectiveScheduling: selective, SortedSpill: sortedSpill, Combine: combine,
-		Obs: reg, Trace: tracer, Checkpoint: ck,
+		SemiExternal: sem, Obs: reg, Trace: tracer, Checkpoint: ck,
 	}
 	if ck.Dir != "" {
 		// Bind checkpoints to the algorithm: resuming a "pr" checkpoint
@@ -387,6 +396,12 @@ func runGraphZ(ctx context.Context, dev *storage.Device, clock *sim.Clock, reg *
 		collectU(v)
 	default:
 		return 0, nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if res.SemiExternal {
+		fmt.Printf("sem: semi-external mode (%s) — vertex states resident, %d messages applied inline, zero spill\n",
+			sem, res.MessagesInline)
+	} else if sem == core.SemAuto {
+		fmt.Printf("sem: partitioned mode — resident vertex states would exceed the %d B budget\n", budget)
 	}
 	if ck.Dir != "" {
 		fmt.Printf("checkpoint: %d written (%d B, %v) -> %s\n",

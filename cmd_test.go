@@ -68,6 +68,7 @@ func TestCommandLineTools(t *testing.T) {
 	traceFile := filepath.Join(dir, "run.jsonl")
 	out, err = exec.Command(run, "-in", graphFile, "-algo", "pr",
 		"-engine", "graphz", "-iters", "5", "-budget", "4194304",
+		"-sem", "off", // the partitioned path is the one with drain spans
 		"-metrics-addr", "127.0.0.1:0", "-trace", traceFile).CombinedOutput()
 	if err != nil {
 		t.Fatalf("graphz-run with obs flags: %v\n%s", err, out)

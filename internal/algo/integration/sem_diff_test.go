@@ -1,0 +1,218 @@
+package integration
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphz/internal/algo/graphzalgo"
+	"graphz/internal/checkpoint"
+	"graphz/internal/core"
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/storage"
+)
+
+// The differential property behind the semi-external-memory fast path:
+// SEM is invisible to the algorithm. Against the single-partition
+// partitioned run — identical message routing, every send already
+// inline — a SEM run must be byte-identical in states AND counters for
+// every algorithm, adjacency codec, and worker count. Against the
+// spilling multi-partition baseline the converged fixpoints (CC, SSSP)
+// must still match bit-for-bit; PageRank's fixed-iteration ranks agree
+// approximately, exactly as they do between partition counts (a
+// cross-partition message waits an iteration, an inline one does not).
+// The raw and varint codecs must stay indistinguishable under SEM, and
+// a mid-run crash/resume cycle must reproduce the uninterrupted SEM run.
+
+// semRunOpts forces the fast path with room to pin the states.
+func semRunOpts() core.Options {
+	return core.Options{
+		MemoryBudget:    64 << 20,
+		DynamicMessages: true,
+		SemiExternal:    core.SemOn,
+	}
+}
+
+// onePartOpts is the partitioned control with identical routing: same
+// budget, fast path disabled.
+func onePartOpts() core.Options {
+	o := semRunOpts()
+	o.SemiExternal = core.SemOff
+	return o
+}
+
+func checkSemShape(t *testing.T, label string, r core.Result) {
+	t.Helper()
+	if !r.SemiExternal {
+		t.Fatalf("%s: run did not take the semi-external path", label)
+	}
+	if r.MessagesBuffered != 0 || r.MessagesSpilled != 0 {
+		t.Fatalf("%s: buffered %d spilled %d, want 0/0", label, r.MessagesBuffered, r.MessagesSpilled)
+	}
+}
+
+func TestSemDifferential(t *testing.T) {
+	algos := []struct {
+		name  string
+		exact bool // multi-partition states must match bit-for-bit
+		run   func(g *dos.Graph, opts core.Options) (core.Result, []uint64, error)
+	}{
+		{"cc", true, func(g *dos.Graph, opts core.Options) (core.Result, []uint64, error) {
+			res, labels, err := graphzalgo.ConnectedComponents(g, opts)
+			return res, bits32(labels), err
+		}},
+		{"sssp", true, func(g *dos.Graph, opts core.Options) (core.Result, []uint64, error) {
+			res, dists, err := graphzalgo.SSSP(g, opts, 0)
+			return res, bitsF32(dists), err
+		}},
+		// PageRank stops at a fixed iteration count, so the faster
+		// cross-partition propagation under SEM shifts the float sums
+		// the same way fewer partitions would: compare approximately.
+		{"pagerank", false, func(g *dos.Graph, opts core.Options) (core.Result, []uint64, error) {
+			res, ranks, err := graphzalgo.PageRank(g, opts, 20, 0.85)
+			return res, bitsF32(ranks), err
+		}},
+	}
+	configs := []struct {
+		name string
+		mod  func(o core.Options) core.Options
+	}{
+		{"sequential", func(o core.Options) core.Options { return o }},
+		{"workers4", func(o core.Options) core.Options { o.WorkerParallelism = 4; return o }},
+	}
+	codecs := []struct {
+		name  string
+		codec storage.Codec
+	}{{"raw", storage.CodecRaw}, {"varint", storage.CodecVarint}}
+
+	edges := symmetrize(gen.Zipf(3000, 16000, 0.9, 81))
+	for _, a := range algos {
+		for _, cfg := range configs {
+			// One SEM outcome per codec, to cross-check raw vs varint.
+			semStates := map[string][]uint64{}
+			semCounters := map[string]codecCounters{}
+			for _, c := range codecs {
+				name := a.name + "/" + cfg.name + "/" + c.name
+				g := convertCodec(t, edges, c.codec)
+
+				semRes, semSt, err := a.run(g, cfg.mod(semRunOpts()))
+				if err != nil {
+					t.Fatalf("%s sem: %v", name, err)
+				}
+				checkSemShape(t, name, semRes)
+				semStates[c.name], semCounters[c.name] = semSt, countersOf(semRes)
+
+				// Byte identity vs the single-partition partitioned run.
+				gOne := convertCodec(t, edges, c.codec)
+				oneRes, oneSt, err := a.run(gOne, cfg.mod(onePartOpts()))
+				if err != nil {
+					t.Fatalf("%s one-partition: %v", name, err)
+				}
+				if oneRes.Partitions != 1 {
+					t.Fatalf("%s: control split into %d partitions", name, oneRes.Partitions)
+				}
+				sameBits(t, name+" sem-vs-one-partition", semSt, oneSt)
+				if countersOf(semRes) != countersOf(oneRes) {
+					t.Fatalf("%s: sem counters %+v, one-partition %+v",
+						name, countersOf(semRes), countersOf(oneRes))
+				}
+
+				// Fixpoint identity vs the spilling multi-partition run.
+				gMulti := convertCodec(t, edges, c.codec)
+				multiRes, multiSt, err := a.run(gMulti, cfg.mod(tightCodecOpts(gMulti, 8)))
+				if err != nil {
+					t.Fatalf("%s multi-partition: %v", name, err)
+				}
+				if multiRes.Partitions < 2 {
+					t.Fatalf("%s: baseline has %d partitions, want several", name, multiRes.Partitions)
+				}
+				if a.exact {
+					if multiRes.MessagesSpilled == 0 {
+						t.Errorf("%s: baseline never spilled — differential proves little", name)
+					}
+					sameBits(t, name+" sem-vs-multi-partition", semSt, multiSt)
+				} else {
+					for i := range multiSt {
+						vm := float64(math.Float32frombits(uint32(multiSt[i])))
+						vs := float64(math.Float32frombits(uint32(semSt[i])))
+						if math.Abs(vm-vs) > 1e-3*(1+math.Abs(vm)) {
+							t.Fatalf("%s: state[%d] = %v, multi-partition has %v", name, i, vs, vm)
+						}
+					}
+				}
+			}
+			// The codec must stay invisible under SEM too.
+			sameBits(t, a.name+"/"+cfg.name+" sem raw-vs-varint", semStates["varint"], semStates["raw"])
+			if semCounters["varint"] != semCounters["raw"] {
+				t.Fatalf("%s/%s: sem varint counters %+v, raw %+v",
+					a.name, cfg.name, semCounters["varint"], semCounters["raw"])
+			}
+		}
+	}
+}
+
+// A SEM checkpoint taken mid-run resumes to the same final state and
+// cumulative counters as the uninterrupted SEM run, on both v2 codecs.
+func TestSemCheckpointResumeDifferential(t *testing.T) {
+	edges := symmetrize(gen.Zipf(2500, 14000, 0.9, 82))
+	type outcome struct {
+		res core.Result
+		st  []uint64
+	}
+	results := map[string]outcome{}
+	for _, c := range []struct {
+		name  string
+		codec storage.Codec
+	}{{"raw", storage.CodecRaw}, {"varint", storage.CodecVarint}} {
+		gRef := convertCodec(t, edges, c.codec)
+		refRes, refLabels, err := graphzalgo.ConnectedComponents(gRef, semRunOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSemShape(t, c.name+" reference", refRes)
+		if refRes.Iterations < 3 {
+			t.Fatalf("CC converged in %d iterations; too few to test mid-run resume", refRes.Iterations)
+		}
+
+		dir := t.TempDir()
+		g := convertCodec(t, edges, c.codec)
+		opts := semRunOpts()
+		opts.Checkpoint = core.CheckpointOptions{Dir: dir, Every: 1, Keep: 1 << 20}
+		if _, _, err := graphzalgo.ConnectedComponents(g, opts); err != nil {
+			t.Fatal(err)
+		}
+		st, err := checkpoint.NewStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iters, err := st.Iterations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range iters {
+			if it > refRes.Iterations/2 {
+				os.RemoveAll(filepath.Join(dir, fmt.Sprintf("ckpt-%010d", it)))
+			}
+		}
+		ropts := semRunOpts()
+		ropts.Checkpoint = core.CheckpointOptions{Dir: dir, Every: 1, Resume: true}
+		res, labels, err := graphzalgo.ConnectedComponents(g, ropts)
+		if err != nil {
+			t.Fatalf("%s resume: %v", c.name, err)
+		}
+		checkSemShape(t, c.name+" resumed", res)
+		sameBits(t, c.name+" resumed-vs-uninterrupted", bits32(labels), bits32(refLabels))
+		if countersOf(res) != countersOf(refRes) {
+			t.Fatalf("%s: resumed counters %+v, uninterrupted %+v", c.name, countersOf(res), countersOf(refRes))
+		}
+		results[c.name] = outcome{res: res, st: bits32(labels)}
+	}
+	sameBits(t, "sem raw-vs-varint after resume", results["varint"].st, results["raw"].st)
+	if countersOf(results["varint"].res) != countersOf(results["raw"].res) {
+		t.Fatalf("resume counters differ: varint %+v, raw %+v",
+			countersOf(results["varint"].res), countersOf(results["raw"].res))
+	}
+}

@@ -98,16 +98,21 @@ type Section struct {
 
 // Manifest binds a checkpoint's sections to the run that produced it.
 type Manifest struct {
-	Version    int       `json:"version"`
-	Name       string    `json:"name"` // engine Options.Name
-	LayoutHash uint64    `json:"layout_hash"`
-	Iteration  int       `json:"iteration"` // iterations completed (resume continues at this count)
-	Converged  bool      `json:"converged"` // the run finished; resume just restores
-	Partitions int       `json:"partitions"`
-	VSize      int       `json:"vsize"`
-	MSize      int       `json:"msize"`
-	Counters   Counters  `json:"counters"`
-	Sections   []Section `json:"sections"`
+	Version    int    `json:"version"`
+	Name       string `json:"name"` // engine Options.Name
+	LayoutHash uint64 `json:"layout_hash"`
+	Iteration  int    `json:"iteration"` // iterations completed (resume continues at this count)
+	Converged  bool   `json:"converged"` // the run finished; resume just restores
+	Partitions int    `json:"partitions"`
+	VSize      int    `json:"vsize"`
+	MSize      int    `json:"msize"`
+	// Sem marks a checkpoint from a semi-external-memory run: it has no
+	// message, tail, or runs sections (nothing is ever pending), and it
+	// only resumes into a SEM engine — cross-mode resume is a typed
+	// ErrConfigMismatch, since the modes' runtime file sets differ.
+	Sem      bool      `json:"sem,omitempty"`
+	Counters Counters  `json:"counters"`
+	Sections []Section `json:"sections"`
 }
 
 // SectionData is one section to be written.

@@ -260,3 +260,96 @@ func TestWriteReplacesSameIteration(t *testing.T) {
 		t.Fatalf("iterations = %v, want one entry", iters)
 	}
 }
+
+func TestNewStoreErrors(t *testing.T) {
+	if _, err := NewStore(""); err == nil {
+		t.Error("NewStore(\"\") succeeded")
+	}
+	// A file where the directory should go: MkdirAll must fail typed.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(f); err == nil {
+		t.Error("NewStore over a regular file succeeded")
+	}
+}
+
+func TestHasSection(t *testing.T) {
+	s := mustStore(t)
+	if _, err := s.Write(testManifest(1), testSections()); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.HasSection("vstate") || !ck.HasSection("msgs.1") {
+		t.Error("declared sections not found")
+	}
+	if ck.HasSection("runs.0") {
+		t.Error("undeclared section reported present")
+	}
+	if _, err := ck.Section("runs.0"); !errors.Is(err, ErrBadManifest) {
+		t.Errorf("undeclared Section read = %v, want ErrBadManifest", err)
+	}
+}
+
+func TestLoadMissingIteration(t *testing.T) {
+	s := mustStore(t)
+	if _, err := s.Write(testManifest(3), testSections()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(7); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("Load(7) = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestSectionFileMissing(t *testing.T) {
+	s := mustStore(t)
+	if _, err := s.Write(testManifest(1), testSections()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(s.Dir(), "ckpt-0000000001", "vstate")); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Section("vstate"); !errors.Is(err, ErrTruncated) {
+		t.Errorf("missing section file = %v, want ErrTruncated", err)
+	}
+}
+
+// The Sem flag must round-trip, and manifests written without it (every
+// pre-SEM checkpoint) must decode to Sem=false — the compatibility rule
+// that lets old checkpoints resume into partitioned engines unchanged.
+func TestSemFlagRoundTripAndCompat(t *testing.T) {
+	s := mustStore(t)
+	m := testManifest(4)
+	m.Sem = true
+	// A SEM checkpoint has no message sections.
+	if _, err := s.Write(m, []SectionData{{Name: "vstate", Data: []byte("pinned")}}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Manifest.Sem {
+		t.Error("Sem flag lost in round trip")
+	}
+
+	s2 := mustStore(t)
+	if _, err := s2.Write(testManifest(1), testSections()); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := s2.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Manifest.Sem {
+		t.Error("partitioned manifest decoded with Sem=true")
+	}
+}

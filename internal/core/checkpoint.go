@@ -165,9 +165,21 @@ func unmarshalRuns(data []byte) ([]int64, error) {
 // each partition's in-memory buffer tail.
 func (e *Engine[V, M]) writeCheckpoint(iters int, done bool) error {
 	start := time.Now()
-	vstate, err := storage.ReadAllFile(e.dev, e.vstateFile())
-	if err != nil {
-		return fmt.Errorf("core: checkpoint at iteration %d: reading vertex states: %w", iters, err)
+	var vstate []byte
+	if e.sem {
+		// SEM keeps the states pinned in memory and only flushes the
+		// vstate file at the end of the run — encode the checkpoint's
+		// copy from the resident array, not the (stale) device file.
+		vstate = make([]byte, len(e.verts)*e.vsize)
+		for i := range e.verts {
+			e.vcodec.Encode(vstate[i*e.vsize:], e.verts[i])
+		}
+	} else {
+		var err error
+		vstate, err = storage.ReadAllFile(e.dev, e.vstateFile())
+		if err != nil {
+			return fmt.Errorf("core: checkpoint at iteration %d: reading vertex states: %w", iters, err)
+		}
 	}
 	secs := make([]checkpoint.SectionData, 0, 2+2*len(e.msgBufs))
 	secs = append(secs, checkpoint.SectionData{Name: "vstate", Data: vstate})
@@ -196,6 +208,7 @@ func (e *Engine[V, M]) writeCheckpoint(iters int, done bool) error {
 		Partitions: e.NumPartitions(),
 		VSize:      e.vsize,
 		MSize:      e.msize,
+		Sem:        e.sem,
 		Counters:   e.checkpointCounters(),
 	}
 	n, err := e.ckStore.Write(m, secs)
@@ -285,6 +298,19 @@ func (e *Engine[V, M]) resume() (Result, error) {
 		return Result{}, fmt.Errorf("%w: checkpoint (partitions=%d vsize=%d msize=%d), engine (partitions=%d vsize=%d msize=%d)",
 			checkpoint.ErrConfigMismatch, m.Partitions, m.VSize, m.MSize, nParts, e.vsize, e.msize)
 	}
+	if m.Sem != e.sem {
+		// The two modes have different runtime file sets (a SEM
+		// checkpoint has no message sections; a partitioned one expects
+		// them restored), so resume never crosses modes.
+		mode := func(sem bool) string {
+			if sem {
+				return "semi-external"
+			}
+			return "partitioned"
+		}
+		return Result{}, fmt.Errorf("%w: checkpoint is from a %s run, this engine is %s",
+			checkpoint.ErrConfigMismatch, mode(m.Sem), mode(e.sem))
+	}
 	vstate, err := ck.Section("vstate")
 	if err != nil {
 		return Result{}, err
@@ -297,16 +323,30 @@ func (e *Engine[V, M]) resume() (Result, error) {
 		return Result{}, fmt.Errorf("core: restoring vertex states: %w", err)
 	}
 	restored := int64(len(vstate))
+	if e.sem {
+		// SEM re-pins the states: decode the restored bytes into the
+		// resident array (loadVertices is a no-op past iteration 0), and
+		// skip the message machinery — a SEM checkpoint has none.
+		e.verts = make([]V, e.layout.NumVertices())
+		for i := range e.verts {
+			e.verts[i] = e.vcodec.Decode(vstate[i*e.vsize:])
+		}
+	}
 	// Spilled files go back to the device; buffer tails go back into
 	// memory at the exact occupancy — and capacity — they had, so both
 	// the drain order (file then tail) and every future spill boundary
 	// replay identically.
-	e.msgBufs = make([][]byte, nParts)
-	if e.opts.SortedSpill {
-		e.msgRuns = make([][]int64, nParts)
+	msgParts := nParts
+	if e.sem {
+		msgParts = 0
+	} else {
+		e.msgBufs = make([][]byte, nParts)
+		if e.opts.SortedSpill {
+			e.msgRuns = make([][]int64, nParts)
+		}
 	}
 	rec := int64(4 + e.msize)
-	for p := 0; p < nParts; p++ {
+	for p := 0; p < msgParts; p++ {
 		data, err := ck.Section(msgSectionName(p))
 		if err != nil {
 			return Result{}, err
@@ -381,6 +421,9 @@ func (e *Engine[V, M]) resume() (Result, error) {
 	e.mergePasses = m.Counters.MergePasses
 	e.spillSaved = m.Counters.SpillSaved
 	e.chargeCheckpointIO(restored, true)
+	if e.sem {
+		e.eo.semRuns.Inc()
+	}
 	d := time.Since(start)
 	e.eo.restores.Inc()
 	e.eo.restoreNS.Add(int64(d))

@@ -187,6 +187,15 @@ type Options struct {
 	// partition vertices) at or above which a partition streams fully
 	// instead of scheduling blocks; 0 means the default 0.25.
 	SelectiveDensity float64
+	// SemiExternal selects the semi-external-memory fast path (sem.go;
+	// DESIGN.md §13): pin the full vertex-state array resident and apply
+	// every message inline at dispatch time — no message buffers, no
+	// spill files, no drain stage — while adjacency still streams
+	// through Sio. SemAuto (the zero value) engages it whenever
+	// SemBudgetBytes fits MemoryBudget and DynamicMessages is on; SemOn
+	// forces it (New fails typed when it cannot); SemOff keeps the
+	// partitioned path unconditionally.
+	SemiExternal SemMode
 	// ConvergeOnInactivity stops the run as soon as an iteration ends
 	// with no vertex marked active, even if messages were sent. Use
 	// for programs that re-send unchanged state every round (like the
@@ -249,8 +258,12 @@ const maxPartitions = 65536
 // Result summarizes a finished run. It stays comparable (no slices): the
 // per-iteration breakdown lives in the attached obs.Registry.
 type Result struct {
-	Iterations       int
-	Partitions       int
+	Iterations int
+	Partitions int
+	// SemiExternal reports the run took the semi-external-memory fast
+	// path (sem.go): states pinned resident, every message applied
+	// inline — MessagesBuffered and MessagesSpilled are structurally 0.
+	SemiExternal     bool
 	MessagesSent     int64
 	MessagesApplied  int64
 	MessagesInline   int64 // applied immediately as ordered dynamic messages
@@ -311,6 +324,7 @@ type Engine[V, M any] struct {
 	partStarts []graph.VertexID    // partition p covers [partStarts[p], partStarts[p+1])
 	vsize      int
 	msize      int
+	sem        bool // semi-external mode: states pinned, every apply inline
 
 	// per-run state
 	verts     []V
@@ -400,7 +414,16 @@ func New[V, M any](layout Layout, prog Program[V, M], vcodec graph.Codec[V], mco
 			ErrInvalidOptions, opts.SharedAdjacency.file, opts.SharedAdjacency.entries,
 			layout.EdgesFile(), layout.NumEdges())
 	}
-	if err := e.plan(); err != nil {
+	sem, err := e.planSem()
+	if err != nil {
+		return nil, err
+	}
+	if sem {
+		// One partition covering the whole vertex space: partitionOf is
+		// the identity and every send takes makeSend's inline branch.
+		e.sem = true
+		e.partStarts = []graph.VertexID{0, graph.VertexID(layout.NumVertices())}
+	} else if err := e.plan(); err != nil {
 		return nil, err
 	}
 	e.maybeEnableAdjCache()
@@ -518,17 +541,28 @@ func (e *Engine[V, M]) Run() (Result, error) {
 		return e.resume()
 	}
 	nParts := e.NumPartitions()
-	e.msgBufs = make([][]byte, nParts)
-	if e.opts.SortedSpill {
-		e.msgRuns = make([][]int64, nParts)
+	if !e.sem {
+		// SEM applies every message inline at dispatch: no buffers, no
+		// message files, nothing to drain. e.msgBufs stays nil, which
+		// also keeps the checkpoint writer's per-partition message
+		// sections and the memory sampler's buffer walk empty.
+		e.msgBufs = make([][]byte, nParts)
+		if e.opts.SortedSpill {
+			e.msgRuns = make([][]int64, nParts)
+		}
 	}
 	if _, err := e.dev.Create(e.vstateFile()); err != nil {
 		return Result{}, err
 	}
-	for p := 0; p < nParts; p++ {
-		if _, err := e.dev.Create(e.msgFile(p)); err != nil {
-			return Result{}, err
+	if !e.sem {
+		for p := 0; p < nParts; p++ {
+			if _, err := e.dev.Create(e.msgFile(p)); err != nil {
+				return Result{}, err
+			}
 		}
+	}
+	if e.sem {
+		e.eo.semRuns.Inc()
 	}
 	return e.loop(0)
 }
@@ -546,13 +580,15 @@ func (e *Engine[V, M]) loop(startIter int) (Result, error) {
 		e.active = false
 		sentBefore := e.sent
 		var pendingBefore int64
-		for p := 0; p < nParts; p++ {
-			pendingBefore += int64(len(e.msgBufs[p]))
-			sz, err := e.dev.Size(e.msgFile(p))
-			if err != nil {
-				return Result{}, err
+		if !e.sem { // SEM never has pending messages: every apply is inline
+			for p := 0; p < nParts; p++ {
+				pendingBefore += int64(len(e.msgBufs[p]))
+				sz, err := e.dev.Size(e.msgFile(p))
+				if err != nil {
+					return Result{}, err
+				}
+				pendingBefore += sz
 			}
-			pendingBefore += sz
 		}
 		var row *obs.IterStats
 		var devBefore storage.Stats
@@ -619,6 +655,14 @@ func (e *Engine[V, M]) loop(startIter int) (Result, error) {
 			break
 		}
 	}
+	if e.sem {
+		// The states stayed pinned all run; one flush makes them durable
+		// for Values (and mirrors the partitioned path's final state of
+		// the vstate file exactly).
+		if err := e.storeVertices(e.partStarts[0], e.partStarts[len(e.partStarts)-1]); err != nil {
+			return Result{}, err
+		}
+	}
 	e.finished = true
 	e.removeMsgFiles(nParts)
 	if e.eo.on {
@@ -631,6 +675,9 @@ func (e *Engine[V, M]) loop(startIter int) (Result, error) {
 // vertex states remain for Values. Removal failures don't fail the run —
 // the results are already durable — but they are counted.
 func (e *Engine[V, M]) removeMsgFiles(nParts int) {
+	if e.sem {
+		return // no message or scratch files were ever created
+	}
 	for p := 0; p < nParts; p++ {
 		if err := e.dev.Remove(e.msgFile(p)); err != nil {
 			e.eo.removeErrs.Inc()
@@ -662,6 +709,7 @@ func (e *Engine[V, M]) result(iters, nParts int) Result {
 	return Result{
 		Iterations:        iters,
 		Partitions:        nParts,
+		SemiExternal:      e.sem,
 		MessagesSent:      e.sent,
 		MessagesApplied:   e.applied,
 		MessagesInline:    e.inline,
@@ -751,23 +799,28 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 	if err := e.loadVertices(lo, hi, iter); err != nil {
 		return err
 	}
-	var drainStart time.Time
-	if e.eo.on {
-		drainStart = time.Now()
-	}
-	if e.opts.SortedSpill {
-		if err := e.drainMessagesSorted(p, lo); err != nil {
+	// SEM has no drain stage at all — every message was already applied
+	// inline when it was sent. Skipping recordDrain too keeps the stage
+	// tables honest: drain time stays 0 and no drain-path counter moves.
+	if !e.sem {
+		var drainStart time.Time
+		if e.eo.on {
+			drainStart = time.Now()
+		}
+		if e.opts.SortedSpill {
+			if err := e.drainMessagesSorted(p, lo); err != nil {
+				return err
+			}
+		} else if e.opts.ParallelDrain {
+			if err := e.drainMessagesParallel(p, lo); err != nil {
+				return err
+			}
+		} else if err := e.drainMessages(p, lo); err != nil {
 			return err
 		}
-	} else if e.opts.ParallelDrain {
-		if err := e.drainMessagesParallel(p, lo); err != nil {
-			return err
+		if e.eo.on {
+			e.recordDrain(iter, p, drainStart, row)
 		}
-	} else if err := e.drainMessages(p, lo); err != nil {
-		return err
-	}
-	if e.eo.on {
-		e.recordDrain(iter, p, drainStart, row)
 	}
 
 	// Plan the block schedule after the drain, so bits set by pending
@@ -843,7 +896,11 @@ func (e *Engine[V, M]) runPartition(p, iter int, row *obs.IterStats) error {
 		e.active = true
 	}
 
-	// Flush this partition's vertex states back to the device.
+	// Flush this partition's vertex states back to the device — except
+	// under SEM, where they stay pinned until one final flush at loop end.
+	if e.sem {
+		return nil
+	}
 	return e.storeVertices(lo, hi)
 }
 
@@ -960,6 +1017,9 @@ func (e *Engine[V, M]) runWorkerSelective(stream entrySource, iter int, lo, hi g
 // the spilled file plus the in-memory buffer tail. Size is a catalog
 // lookup, not a charged device read.
 func (e *Engine[V, M]) pendingBytes(p int) (int64, error) {
+	if e.sem {
+		return 0, nil // inline apply leaves nothing pending, ever
+	}
 	sz, err := e.dev.Size(e.msgFile(p))
 	if err != nil {
 		return 0, err
@@ -1033,6 +1093,11 @@ func (e *Engine[V, M]) selectiveEntrySource(p int, start, end int64, sched selSc
 // loadVertices brings [lo, hi) into e.verts: decoded from the vertex
 // state file, or initialized via Program.Init on the first iteration.
 func (e *Engine[V, M]) loadVertices(lo, hi graph.VertexID, iter int) error {
+	if e.sem && iter > 0 {
+		// SEM: e.verts already holds every state — populated by the Init
+		// pass (iteration 0) or by resume, and pinned for the whole run.
+		return nil
+	}
 	count := int(hi - lo)
 	if cap(e.verts) < count {
 		e.verts = make([]V, count)
@@ -1291,6 +1356,9 @@ func (e *Engine[V, M]) ValuesByOldID() (map[graph.VertexID]V, error) {
 func (e *Engine[V, M]) Cleanup() {
 	if err := e.dev.Remove(e.vstateFile()); err != nil {
 		e.eo.removeErrs.Inc()
+	}
+	if e.sem {
+		return // the vertex-state file is SEM's only runtime file
 	}
 	for p := 0; p < e.NumPartitions(); p++ {
 		if err := e.dev.Remove(e.msgFile(p)); err != nil {

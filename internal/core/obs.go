@@ -46,6 +46,10 @@ type engineObs struct {
 	drainParallel *obs.Counter
 	drainSorted   *obs.Counter
 
+	// semRuns counts runs on the semi-external fast path (sem.go). A SEM
+	// run's drain instruments all stay 0 — the stage genuinely never ran.
+	semRuns *obs.Counter
+
 	// Sort-reduce instruments (Options.SortedSpill / Options.Combine;
 	// DESIGN.md §11).
 	combinedMsgs *obs.Counter // messages folded away by the Combine hook
@@ -109,6 +113,8 @@ func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
 		drainSerial:   reg.Counter("graphz_drain_serial_total"),
 		drainParallel: reg.Counter("graphz_drain_parallel_total"),
 		drainSorted:   reg.Counter("graphz_drain_sorted_total"),
+
+		semRuns: reg.Counter("graphz_sem_runs_total"),
 
 		combinedMsgs: reg.Counter("graphz_messages_combined_total"),
 		drainMerges:  reg.Counter("graphz_drain_merge_passes_total"),

@@ -157,6 +157,7 @@ func TestEngineObservabilityParallelDrain(t *testing.T) {
 	res2, _ := runMinLabel(t, g2, Options{
 		MemoryBudget:    64 << 20,
 		DynamicMessages: true,
+		SemiExternal:    SemOff, // keep the drain stage: 4 spans per partition
 		MaxIterations:   2,
 		Trace:           tr,
 	})
