@@ -66,14 +66,17 @@ run-report:
 	$(GO) run ./cmd/graphz-run -gen rmat -gen-scale 10 -gen-edges 8192 -seed 7 -algo pr -report RUNREPORT_run.json
 	$(GO) run ./cmd/graphz-report show RUNREPORT_run.json
 
-# fuzz-short gives each DOS parser fuzz target a bounded budget — 10s
-# locally, FUZZTIME=30s in the CI fuzz job (which also caches the
-# generated corpus across runs). The checked-in seed corpus under
-# internal/dos/testdata replays on every plain `go test` run regardless.
+# fuzz-short gives each DOS parser and codec fuzz target a bounded
+# budget — 10s locally, FUZZTIME=30s in the CI fuzz job (which also
+# caches the generated corpus across runs). The checked-in seed corpora
+# under internal/dos/testdata and internal/storage/testdata replay on
+# every plain `go test` run regardless.
 FUZZTIME ?= 10s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzMetaParse$$' -fuzztime $(FUZZTIME) ./internal/dos/
 	$(GO) test -run '^$$' -fuzz '^FuzzEdgesDecode$$' -fuzztime $(FUZZTIME) ./internal/dos/
 	$(GO) test -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime $(FUZZTIME) ./internal/dos/
+	$(GO) test -run '^$$' -fuzz '^FuzzGroupVarintDecode$$' -fuzztime $(FUZZTIME) ./internal/storage/
+	$(GO) test -run '^$$' -fuzz '^FuzzGroupVarintRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/storage/
 
 check: fmt vet race test

@@ -52,6 +52,9 @@ func main() {
 		if err != nil {
 			fatalf("record: %v", err)
 		}
+		if dropped := snap.sanitize(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "graphz-benchdiff: record: dropped %d entries with an empty name or no positive ns/op\n", dropped)
+		}
 		if len(snap.Benchmarks) == 0 {
 			fatalf("record: no benchmark lines found on stdin")
 		}
@@ -105,7 +108,35 @@ func readSnapshot(path string) (Snapshot, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
 	}
+	// A snapshot used as a gate must be well-formed: an empty-name entry
+	// (a hand-edit or merge artifact) would silently "match" any other
+	// empty-name entry in compare and gate nothing, so reject instead of
+	// repairing here.
+	for i, b := range s.Benchmarks {
+		if b.Name == "" {
+			return Snapshot{}, fmt.Errorf("%s: benchmark entry %d has an empty name", path, i)
+		}
+		if !(b.NsPerOp > 0) {
+			return Snapshot{}, fmt.Errorf("%s: benchmark %q has no positive ns/op (%v)", path, b.Name, b.NsPerOp)
+		}
+	}
 	return s, nil
+}
+
+// sanitize drops malformed entries — empty names or missing ns/op — so
+// -record never writes a snapshot that readSnapshot would then reject.
+// It returns how many entries were dropped.
+func (s *Snapshot) sanitize() int {
+	kept := s.Benchmarks[:0]
+	for _, b := range s.Benchmarks {
+		if b.Name == "" || !(b.NsPerOp > 0) {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	dropped := len(s.Benchmarks) - len(kept)
+	s.Benchmarks = kept
+	return dropped
 }
 
 // parseBenchOutput extracts benchmark results from `go test -bench`

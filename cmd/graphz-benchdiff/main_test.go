@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -101,6 +103,49 @@ func TestCompareExactThresholdPasses(t *testing.T) {
 	var out strings.Builder
 	if got := compare(&out, base, cur, 0.15); got != 0 {
 		t.Fatalf("exactly at threshold should pass, got %d regressions:\n%s", got, out.String())
+	}
+}
+
+func TestSanitizeDropsMalformedEntries(t *testing.T) {
+	s := Snapshot{Benchmarks: []Benchmark{
+		bench("A", 1000),
+		bench("", 500),  // empty name
+		bench("B", 0),   // missing ns/op
+		bench("C", -10), // negative ns/op
+		bench("D", 2000),
+	}}
+	if dropped := s.sanitize(); dropped != 3 {
+		t.Fatalf("sanitize dropped %d entries, want 3: %+v", dropped, s.Benchmarks)
+	}
+	if len(s.Benchmarks) != 2 || s.Benchmarks[0].Name != "A" || s.Benchmarks[1].Name != "D" {
+		t.Fatalf("sanitize kept %+v, want A and D in order", s.Benchmarks)
+	}
+	if s.sanitize() != 0 {
+		t.Error("sanitize of a clean snapshot dropped entries")
+	}
+}
+
+func TestReadSnapshotRejectsMalformedEntries(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap := func(name, body string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := writeSnap("good.json", `{"benchmarks":[{"name":"BenchmarkEngine","ns_per_op":100}]}`)
+	if _, err := readSnapshot(good); err != nil {
+		t.Fatalf("well-formed snapshot rejected: %v", err)
+	}
+	for name, body := range map[string]string{
+		"empty-name.json": `{"benchmarks":[{"name":"","ns_per_op":100}]}`,
+		"no-name.json":    `{"benchmarks":[{"ns_per_op":100}]}`,
+		"zero-ns.json":    `{"benchmarks":[{"name":"BenchmarkEngine"}]}`,
+	} {
+		if _, err := readSnapshot(writeSnap(name, body)); err == nil {
+			t.Errorf("%s: malformed snapshot accepted", name)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"graphz/internal/dos"
 	"graphz/internal/sim"
@@ -28,7 +29,7 @@ func main() {
 		device = flag.String("device", "ssd", "simulated device for cost accounting: hdd or ssd")
 		budget = flag.Int64("budget", 8<<20, "conversion memory budget in bytes")
 		codec  = flag.String("codec", "", "adjacency block codec for the DOS v2 format "+
-			"(raw or varint); empty writes the v1 format")
+			"("+strings.Join(storage.CodecNames(), ", ")+"); empty writes the v1 format")
 	)
 	flag.Parse()
 	if *in == "" {

@@ -143,6 +143,7 @@ func TestCodecDifferential(t *testing.T) {
 		g1 := convertCodec(t, gr.edges, nil)
 		graw := convertCodec(t, gr.edges, storage.CodecRaw)
 		gvar := convertCodec(t, gr.edges, storage.CodecVarint)
+		ggv := convertCodec(t, gr.edges, storage.CodecGroupVarint)
 		for _, a := range algos {
 			for _, cfg := range configs {
 				name := gr.name + "/" + a.name + "/" + cfg.name
@@ -158,11 +159,19 @@ func TestCodecDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s varint: %v", name, err)
 				}
-				// The headline property: raw and varint are
+				resG, stG, err := a.run(ggv, cfg.mod(tightCodecOpts(ggv, 8)))
+				if err != nil {
+					t.Fatalf("%s groupvarint: %v", name, err)
+				}
+				// The headline property: the three v2 codecs are
 				// indistinguishable — states and counters.
 				sameBits(t, name+" raw-vs-varint", stV, stR)
 				if countersOf(resV) != countersOf(resR) {
 					t.Fatalf("%s: varint counters %+v, raw %+v", name, countersOf(resV), countersOf(resR))
+				}
+				sameBits(t, name+" raw-vs-groupvarint", stG, stR)
+				if countersOf(resG) != countersOf(resR) {
+					t.Fatalf("%s: groupvarint counters %+v, raw %+v", name, countersOf(resG), countersOf(resR))
 				}
 				if resR.Partitions < 2 {
 					t.Errorf("%s: %d partitions, want several (budget too loose to test spills)", name, resR.Partitions)
@@ -198,7 +207,7 @@ func TestCodecCheckpointResumeDifferential(t *testing.T) {
 	for _, c := range []struct {
 		name  string
 		codec storage.Codec
-	}{{"raw", storage.CodecRaw}, {"varint", storage.CodecVarint}} {
+	}{{"raw", storage.CodecRaw}, {"varint", storage.CodecVarint}, {"groupvarint", storage.CodecGroupVarint}} {
 		gRef := convertCodec(t, edges, c.codec)
 		refRes, refLabels, err := graphzalgo.ConnectedComponents(gRef, tightCodecOpts(gRef, 8))
 		if err != nil {
@@ -243,9 +252,11 @@ func TestCodecCheckpointResumeDifferential(t *testing.T) {
 		}
 		results[c.name] = outcome{res: res, st: bits32(labels)}
 	}
-	sameBits(t, "raw-vs-varint after resume", results["varint"].st, results["raw"].st)
-	if countersOf(results["varint"].res) != countersOf(results["raw"].res) {
-		t.Fatalf("resume counters differ: varint %+v, raw %+v", countersOf(results["varint"].res), countersOf(results["raw"].res))
+	for _, name := range []string{"varint", "groupvarint"} {
+		sameBits(t, "raw-vs-"+name+" after resume", results[name].st, results["raw"].st)
+		if countersOf(results[name].res) != countersOf(results["raw"].res) {
+			t.Fatalf("resume counters differ: %s %+v, raw %+v", name, countersOf(results[name].res), countersOf(results["raw"].res))
+		}
 	}
 }
 
@@ -261,6 +272,7 @@ func TestCodecCompressionAcceptance(t *testing.T) {
 	edges := gen.Zipf(200_000, 1_100_000, 0.9, 99)
 	graw := convertCodec(t, edges, storage.CodecRaw)
 	gvar := convertCodec(t, edges, storage.CodecVarint)
+	ggv := convertCodec(t, edges, storage.CodecGroupVarint)
 	if graw.NumEdges < 1_000_000 {
 		t.Fatalf("generator produced %d edges, want >= 1M", graw.NumEdges)
 	}
@@ -272,11 +284,18 @@ func TestCodecCompressionAcceptance(t *testing.T) {
 		}
 		return n
 	}
-	rawBytes, varBytes := sizeOf(graw), sizeOf(gvar)
+	rawBytes, varBytes, gvBytes := sizeOf(graw), sizeOf(gvar), sizeOf(ggv)
 	fileRatio := float64(rawBytes) / float64(varBytes)
 	t.Logf("edges file: raw %d B, varint %d B (%.2fx)", rawBytes, varBytes, fileRatio)
 	if fileRatio < 1.8 {
 		t.Errorf("varint edges file only %.2fx smaller than raw, want >= 1.8x", fileRatio)
+	}
+	// The fast codec's acceptance bar: the ~2 control bits per entry it
+	// spends on branch-free decode still leave at least a 1.9x ratio.
+	gvRatio := float64(rawBytes) / float64(gvBytes)
+	t.Logf("edges file: groupvarint %d B (%.2fx)", gvBytes, gvRatio)
+	if gvRatio < 1.9 {
+		t.Errorf("groupvarint edges file only %.2fx smaller than raw, want >= 1.9x", gvRatio)
 	}
 
 	run := func(g *dos.Graph) (core.Result, []uint64, storage.Stats) {
@@ -290,10 +309,21 @@ func TestCodecCompressionAcceptance(t *testing.T) {
 	}
 	resR, stR, ioR := run(graw)
 	resV, stV, ioV := run(gvar)
+	resG, stG, ioG := run(ggv)
 
 	sameBits(t, "pagerank raw-vs-varint", stV, stR)
 	if countersOf(resV) != countersOf(resR) {
 		t.Fatalf("counters differ: varint %+v, raw %+v", countersOf(resV), countersOf(resR))
+	}
+	sameBits(t, "pagerank raw-vs-groupvarint", stG, stR)
+	if countersOf(resG) != countersOf(resR) {
+		t.Fatalf("counters differ: groupvarint %+v, raw %+v", countersOf(resG), countersOf(resR))
+	}
+	if resG.CodecBytesRaw != resR.CodecBytesRaw {
+		t.Fatalf("decoded bytes: groupvarint %d, raw %d, want equal", resG.CodecBytesRaw, resR.CodecBytesRaw)
+	}
+	if ioG.ReadBytes >= ioR.ReadBytes {
+		t.Errorf("groupvarint run read %d device bytes, raw read %d", ioG.ReadBytes, ioR.ReadBytes)
 	}
 	if resV.CodecBytesRaw == 0 || resV.CodecBytesRaw != resR.CodecBytesRaw {
 		t.Fatalf("decoded bytes: varint %d, raw %d, want equal and nonzero", resV.CodecBytesRaw, resR.CodecBytesRaw)
@@ -309,5 +339,55 @@ func TestCodecCompressionAcceptance(t *testing.T) {
 	}
 	if ioV.ReadBytes >= ioR.ReadBytes {
 		t.Errorf("varint run read %d device bytes, raw read %d", ioV.ReadBytes, ioR.ReadBytes)
+	}
+}
+
+// TestGroupVarintDifferentialMatrix pins the new fast codec against raw
+// across the full engine-mode cross: {sequential, workers=4} ×
+// {selective scheduling on/off} × {SEM on/off}. Every cell must produce
+// byte-identical states and identical routing counters — the codec (and
+// the batch Worker dispatch riding on its decode path) is invisible to
+// every engine mode combination.
+func TestGroupVarintDifferentialMatrix(t *testing.T) {
+	edges := symmetrize(gen.Zipf(3000, 16000, 0.9, 83))
+	graw := convertCodec(t, edges, storage.CodecRaw)
+	ggv := convertCodec(t, edges, storage.CodecGroupVarint)
+	for _, workers := range []int{1, 4} {
+		for _, selective := range []bool{false, true} {
+			for _, sem := range []bool{false, true} {
+				name := fmt.Sprintf("workers%d/selective=%v/sem=%v", workers, selective, sem)
+				optsFor := func(g *dos.Graph) core.Options {
+					var o core.Options
+					if sem {
+						// SEM pins all states resident: one partition,
+						// every apply inline.
+						o = core.Options{MemoryBudget: 64 << 20, DynamicMessages: true, SemiExternal: core.SemOn}
+					} else {
+						o = tightCodecOpts(g, 8)
+					}
+					o.WorkerParallelism = workers
+					o.SelectiveScheduling = selective
+					return o
+				}
+				resR, labelsR, err := graphzalgo.ConnectedComponents(graw, optsFor(graw))
+				if err != nil {
+					t.Fatalf("%s raw: %v", name, err)
+				}
+				resG, labelsG, err := graphzalgo.ConnectedComponents(ggv, optsFor(ggv))
+				if err != nil {
+					t.Fatalf("%s groupvarint: %v", name, err)
+				}
+				sameBits(t, name+" raw-vs-groupvarint", bits32(labelsG), bits32(labelsR))
+				if countersOf(resG) != countersOf(resR) {
+					t.Fatalf("%s: groupvarint counters %+v, raw %+v", name, countersOf(resG), countersOf(resR))
+				}
+				if sem && !resG.SemiExternal {
+					t.Fatalf("%s: run did not take the semi-external path", name)
+				}
+				if !sem && resR.Partitions < 2 {
+					t.Errorf("%s: %d partitions, want several (budget too loose to test spills)", name, resR.Partitions)
+				}
+			}
+		}
 	}
 }

@@ -86,7 +86,7 @@ func TestSemDifferential(t *testing.T) {
 	codecs := []struct {
 		name  string
 		codec storage.Codec
-	}{{"raw", storage.CodecRaw}, {"varint", storage.CodecVarint}}
+	}{{"raw", storage.CodecRaw}, {"varint", storage.CodecVarint}, {"groupvarint", storage.CodecGroupVarint}}
 
 	edges := symmetrize(gen.Zipf(3000, 16000, 0.9, 81))
 	for _, a := range algos {
@@ -145,10 +145,12 @@ func TestSemDifferential(t *testing.T) {
 				}
 			}
 			// The codec must stay invisible under SEM too.
-			sameBits(t, a.name+"/"+cfg.name+" sem raw-vs-varint", semStates["varint"], semStates["raw"])
-			if semCounters["varint"] != semCounters["raw"] {
-				t.Fatalf("%s/%s: sem varint counters %+v, raw %+v",
-					a.name, cfg.name, semCounters["varint"], semCounters["raw"])
+			for _, other := range []string{"varint", "groupvarint"} {
+				sameBits(t, a.name+"/"+cfg.name+" sem raw-vs-"+other, semStates[other], semStates["raw"])
+				if semCounters[other] != semCounters["raw"] {
+					t.Fatalf("%s/%s: sem %s counters %+v, raw %+v",
+						a.name, cfg.name, other, semCounters[other], semCounters["raw"])
+				}
 			}
 		}
 	}
@@ -166,7 +168,7 @@ func TestSemCheckpointResumeDifferential(t *testing.T) {
 	for _, c := range []struct {
 		name  string
 		codec storage.Codec
-	}{{"raw", storage.CodecRaw}, {"varint", storage.CodecVarint}} {
+	}{{"raw", storage.CodecRaw}, {"varint", storage.CodecVarint}, {"groupvarint", storage.CodecGroupVarint}} {
 		gRef := convertCodec(t, edges, c.codec)
 		refRes, refLabels, err := graphzalgo.ConnectedComponents(gRef, semRunOpts())
 		if err != nil {
@@ -210,9 +212,11 @@ func TestSemCheckpointResumeDifferential(t *testing.T) {
 		}
 		results[c.name] = outcome{res: res, st: bits32(labels)}
 	}
-	sameBits(t, "sem raw-vs-varint after resume", results["varint"].st, results["raw"].st)
-	if countersOf(results["varint"].res) != countersOf(results["raw"].res) {
-		t.Fatalf("resume counters differ: varint %+v, raw %+v",
-			countersOf(results["varint"].res), countersOf(results["raw"].res))
+	for _, name := range []string{"varint", "groupvarint"} {
+		sameBits(t, "sem raw-vs-"+name+" after resume", results[name].st, results["raw"].st)
+		if countersOf(results[name].res) != countersOf(results["raw"].res) {
+			t.Fatalf("resume counters differ: %s %+v, raw %+v",
+				name, countersOf(results[name].res), countersOf(results["raw"].res))
+		}
 	}
 }

@@ -316,4 +316,16 @@ func (s *memRunsStream) next() (graph.VertexID, error) {
 	return s.cur.next()
 }
 
+// read bulk-parses entries from the current run segment (batchSource).
+func (s *memRunsStream) read(dst []graph.VertexID) (int, error) {
+	for s.cur.pos >= len(s.cur.data) {
+		if len(s.segs) == 0 {
+			return 0, fmt.Errorf("core: cached adjacency exhausted early")
+		}
+		s.cur = memEntryStream{data: s.segs[0]}
+		s.segs = s.segs[1:]
+	}
+	return s.cur.read(dst)
+}
+
 func (s *memRunsStream) stop() {}

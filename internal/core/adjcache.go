@@ -43,6 +43,24 @@ func (s *memEntryStream) next() (graph.VertexID, error) {
 	return v, nil
 }
 
+// read bulk-parses resident entries into dst (batchSource).
+func (s *memEntryStream) read(dst []graph.VertexID) (int, error) {
+	avail := (len(s.data) - s.pos) / 4
+	if avail == 0 {
+		return 0, fmt.Errorf("core: cached adjacency exhausted early")
+	}
+	n := len(dst)
+	if n > avail {
+		n = avail
+	}
+	data := s.data[s.pos:]
+	for i := 0; i < n; i++ {
+		dst[i] = graph.VertexID(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	s.pos += n * 4
+	return n, nil
+}
+
 func (s *memEntryStream) stop() {}
 
 // maybeEnableAdjCache decides (post-plan) whether the adjacency fits the

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// Batch adjacency dispatch for the Worker stage. The seed Worker pulled
+// adjacency entries one at a time through entrySource.next() — an
+// interface call per edge — and re-appended them into a per-vertex
+// slice. The batch path instead bulk-copies whatever the source has
+// already buffered or decoded into one flat reusable buffer and hands
+// each vertex's Update a sub-slice of it: one interface call per block
+// (not per edge), bounds checks hoisted into a single copy loop, and
+// zero per-vertex allocations in steady state. Entry order and error
+// semantics are identical to the next() path, so the engine's ordering
+// guarantee (and byte-identity across worker counts, codecs, and
+// selective mode) is untouched.
+
+// workerBatchEntries sizes the Worker's flat batch buffer: one Sio
+// block's worth of entries, so a single refill captures everything a
+// block decode produced.
+const workerBatchEntries = storage.DefaultBlockSize / 4
+
+// batchSource is the bulk side of an entrySource: read copies entries
+// into dst in stream order and returns how many it delivered (at least
+// one, at most len(dst)). Like next(), it may block on the prefetcher;
+// a stream with no entries left reports the same error next() would.
+type batchSource interface {
+	read(dst []graph.VertexID) (int, error)
+}
+
+// disableBatchRead forces batchReader onto the per-entry next()
+// fallback — the pre-batch dispatch sequence — so tests can prove the
+// two paths are byte-identical. Only tests may flip it, and never in
+// parallel with an engine run.
+var disableBatchRead = false
+
+// batchReader adapts an entrySource to per-vertex adjacency slices
+// served from a flat buffer. Not safe for concurrent use; each Worker
+// (the engine goroutine, or one speculating chunk) owns its own.
+type batchReader struct {
+	src  entrySource
+	bulk batchSource // nil: fall back to src.next() per entry
+	buf  []graph.VertexID
+	pos  int // first unserved entry in buf
+	fill int // first free slot in buf
+}
+
+// newBatchReader wraps src, reusing buf (which may be nil) as the batch
+// buffer. src may be nil when the caller proves every degree is zero —
+// adj(0) never touches it.
+func newBatchReader(src entrySource, buf []graph.VertexID) batchReader {
+	r := batchReader{src: src, buf: buf}
+	if src != nil && !disableBatchRead {
+		r.bulk, _ = src.(batchSource)
+	}
+	return r
+}
+
+// adj returns the vertex's next deg adjacency entries in stream order.
+// The slice aliases the reader's buffer and is valid until the next
+// adj call. The caller must not retain or mutate it — the same contract
+// the seed Worker's reused append slice had.
+func (r *batchReader) adj(deg uint32) ([]graph.VertexID, error) {
+	n := int(deg)
+	if n == 0 {
+		return nil, nil
+	}
+	if r.fill-r.pos < n {
+		if err := r.refill(n); err != nil {
+			return nil, err
+		}
+	}
+	out := r.buf[r.pos : r.pos+n : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+// refill compacts the buffer and tops it up until n entries are
+// buffered, growing the buffer when one vertex's degree exceeds it.
+func (r *batchReader) refill(n int) error {
+	r.fill = copy(r.buf, r.buf[r.pos:r.fill])
+	r.pos = 0
+	if n > len(r.buf) {
+		want := 2 * len(r.buf)
+		if want < n {
+			want = n
+		}
+		if want < workerBatchEntries {
+			want = workerBatchEntries
+		}
+		nb := make([]graph.VertexID, want)
+		r.fill = copy(nb, r.buf[:r.fill])
+		r.buf = nb
+	}
+	for r.fill < n {
+		if r.bulk != nil {
+			m, err := r.bulk.read(r.buf[r.fill:])
+			if err != nil {
+				return err
+			}
+			if m <= 0 {
+				return fmt.Errorf("core: adjacency batch read returned %d entries", m)
+			}
+			r.fill += m
+			continue
+		}
+		if r.src == nil {
+			return fmt.Errorf("core: adjacency stream exhausted early")
+		}
+		v, err := r.src.next()
+		if err != nil {
+			return err
+		}
+		r.buf[r.fill] = v
+		r.fill++
+	}
+	return nil
+}

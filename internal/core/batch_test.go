@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"graphz/internal/dos"
+	"graphz/internal/gen"
+	"graphz/internal/graph"
+	"graphz/internal/storage"
+)
+
+// Tests for the batch adjacency dispatch path: the batchReader must do
+// zero allocations per vertex in steady state (the point of the flat
+// buffer), and flipping disableBatchRead must not change a single state
+// byte — batching is a dispatch optimization, not a semantics change.
+
+// batchDegrees is a mixed degree schedule: zero-degree vertices, degrees
+// straddling refill boundaries, and one degree larger than the initial
+// buffer so the grow path runs before the steady state being measured.
+var batchDegrees = []uint32{1, 7, 0, 16, 3, 0, 40, 5, 2, 11}
+
+// consumeAll drives br through the degree schedule until all n entries
+// are served, checking stream order against the identity val(i) = 3*i.
+func consumeAll(t *testing.T, br *batchReader, n int, check bool) {
+	t.Helper()
+	served := 0
+	for i := 0; served < n; i++ {
+		deg := batchDegrees[i%len(batchDegrees)]
+		if rem := n - served; int(deg) > rem {
+			deg = uint32(rem)
+		}
+		adj, err := br.adj(deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(adj) != int(deg) {
+			t.Fatalf("adj(%d) returned %d entries", deg, len(adj))
+		}
+		if check {
+			for j, v := range adj {
+				if want := graph.VertexID(3 * (served + j)); v != want {
+					t.Fatalf("entry %d = %d, want %d", served+j, v, want)
+				}
+			}
+		}
+		served += int(deg)
+	}
+}
+
+// TestBatchReaderAllocs pins the acceptance criterion directly: after
+// the buffer has grown to cover the degree schedule, serving adjacency
+// slices allocates nothing — on the bulk read path and on the next()
+// fallback alike.
+func TestBatchReaderAllocs(t *testing.T) {
+	const entries = 4096
+	data := make([]byte, entries*4)
+	for i := 0; i < entries; i++ {
+		binary.LittleEndian.PutUint32(data[i*4:], uint32(3*i))
+	}
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"bulk", false},
+		{"fallback", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			old := disableBatchRead
+			disableBatchRead = tc.disable
+			defer func() { disableBatchRead = old }()
+			src := &memEntryStream{data: data}
+			br := newBatchReader(src, nil)
+			if got := br.bulk != nil; got == tc.disable {
+				t.Fatalf("bulk path engaged = %v with disableBatchRead = %v", got, tc.disable)
+			}
+			// Warm-up pass: grows the buffer and checks entry order.
+			consumeAll(t, &br, entries, true)
+			run := func() {
+				src.pos = 0
+				br.pos, br.fill = 0, 0
+				consumeAll(t, &br, entries, false)
+			}
+			if avg := testing.AllocsPerRun(20, run); avg != 0 {
+				t.Errorf("steady-state batch dispatch allocates %.1f times per pass over %d vertices, want 0", avg, entries)
+			}
+		})
+	}
+}
+
+// TestBatchReaderExhaustion: demanding more entries than the stream
+// holds must surface the source's exhaustion error, and a nil source
+// must serve only zero degrees.
+func TestBatchReaderExhaustion(t *testing.T) {
+	src := &memEntryStream{data: make([]byte, 8)}
+	br := newBatchReader(src, nil)
+	if _, err := br.adj(3); err == nil {
+		t.Error("adj(3) over a 2-entry stream did not fail")
+	}
+	nilbr := newBatchReader(nil, nil)
+	if adj, err := nilbr.adj(0); err != nil || adj != nil {
+		t.Errorf("adj(0) on a nil source = (%v, %v), want (nil, nil)", adj, err)
+	}
+	if _, err := nilbr.adj(1); err == nil {
+		t.Error("adj(1) on a nil source did not fail")
+	}
+}
+
+// TestBatchDispatchByteIdentity is the batch-vs-pre-batch property test:
+// the same run with batching disabled (the seed per-entry next() path)
+// and enabled must produce identical Results and state bytes. The
+// non-commutative mix program makes any dispatch-order perturbation
+// change the fixpoint bytes, and the matrix spans the engine modes that
+// dispatch adjacency — sequential, selective, and the parallel Worker —
+// over both a fixed-entry v1 graph and a block-encoded v2 graph.
+func TestBatchDispatchByteIdentity(t *testing.T) {
+	runMix := func(g *dos.Graph, opts Options, disable bool) (Result, []byte) {
+		old := disableBatchRead
+		disableBatchRead = disable
+		defer func() { disableBatchRead = old }()
+		return runProg[mixVal, uint32](t, g, mixProg{rounds: 4}, mixCodec{}, graph.Uint32Codec{}, opts)
+	}
+	edges := gen.RMAT(9, 4000, gen.NaturalRMAT, 83)
+	graphs := []struct {
+		name string
+		g    *dos.Graph
+	}{
+		{"v1", buildDOS(t, edges)},
+		{"v2-groupvarint", buildDOSCodec(t, edges, storage.CodecGroupVarint, 0)},
+	}
+	modes := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"sequential", func(*Options) {}},
+		{"selective", func(o *Options) { o.SelectiveScheduling = true }},
+		{"workers=4", func(o *Options) { o.WorkerParallelism = 4 }},
+	}
+	for _, gr := range graphs {
+		for _, mode := range modes {
+			name := fmt.Sprintf("%s/%s", gr.name, mode.name)
+			opts := Options{
+				MemoryBudget:   budgetForPartitions(gr.g, 4, 3, 64),
+				MsgBufferBytes: 64,
+				MaxIterations:  4,
+			}
+			mode.mod(&opts)
+			preRes, preBytes := runMix(gr.g, opts, true)
+			batRes, batBytes := runMix(gr.g, opts, false)
+			if preRes.Partitions < 2 {
+				t.Errorf("%s: only %d partitions; the matrix needs cross-partition dispatch", name, preRes.Partitions)
+			}
+			if counterFields(preRes) != counterFields(batRes) {
+				t.Errorf("%s: counters %v with batching, %v without", name, counterFields(batRes), counterFields(preRes))
+			}
+			if !bytes.Equal(preBytes, batBytes) {
+				for i := 0; i < len(preBytes)/4; i++ {
+					a, b := preBytes[i*4:(i+1)*4], batBytes[i*4:(i+1)*4]
+					if !bytes.Equal(a, b) {
+						t.Fatalf("%s: vertex %d state bytes %x with batching, %x without", name, i, b, a)
+					}
+				}
+			}
+		}
+	}
+}

@@ -159,6 +159,48 @@ func (s *codecEntryStream) next() (graph.VertexID, error) {
 	return graph.VertexID(v), nil
 }
 
+// read bulk-copies decoded entries into dst (batchSource): everything
+// the current decoded block still holds of the current range, decoding
+// the next needed block when it is spent.
+func (s *codecEntryStream) read(dst []graph.VertexID) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	for s.ri < len(s.ranges) && s.cur >= s.ranges[s.ri].end {
+		s.ri++
+		if s.ri < len(s.ranges) {
+			s.cur = s.ranges[s.ri].start
+		}
+	}
+	if s.ri >= len(s.ranges) {
+		s.err = fmt.Errorf("core: adjacency stream exhausted early")
+		return 0, s.err
+	}
+	b := s.cur / s.adj.BlockEntries
+	if b != s.decBlk {
+		if err := s.recvDecode(b); err != nil {
+			s.err = err
+			return 0, err
+		}
+	}
+	base := b * s.adj.BlockEntries
+	end := base + int64(len(s.dec))
+	if re := s.ranges[s.ri].end; re < end {
+		end = re
+	}
+	n := int(end - s.cur)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	off := int(s.cur - base)
+	dec := s.dec[off : off+n]
+	for i, v := range dec {
+		dst[i] = graph.VertexID(v)
+	}
+	s.cur += int64(n)
+	return n, nil
+}
+
 // recvDecode receives block b from the prefetcher and decodes it — the
 // Dispatcher step of the codec pipeline. The producer emits exactly the
 // blocks the ranges need, in ascending order, so the next block received

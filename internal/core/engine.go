@@ -349,6 +349,11 @@ type Engine[V, M any] struct {
 	mergePasses int64
 	spillSaved  int64
 
+	// Worker batch-dispatch scratch, reused across partitions by the
+	// engine-goroutine Workers (sequential, selective, re-execute);
+	// speculating chunks carry their own.
+	batchBuf []graph.VertexID
+
 	// selective scheduling state (Options.SelectiveScheduling)
 	sel           *activeSet // per-vertex schedulability bits; nil when off
 	selDegs       []uint32   // planner scratch: current partition's degrees
@@ -950,7 +955,7 @@ func (e *Engine[V, M]) runWorkerSequential(stream entrySource, iter int, lo, hi 
 	}
 	ctx.send = e.makeSend(lo, hi)
 
-	var adj []graph.VertexID
+	br := newBatchReader(stream, e.batchBuf)
 	for v := lo; v < hi; v++ {
 		deg := e.layout.DegreeOf(v)
 		if e.sel != nil {
@@ -962,19 +967,16 @@ func (e *Engine[V, M]) runWorkerSequential(stream entrySource, iter int, lo, hi 
 			}
 			ctx.cur = v
 		}
-		adj = adj[:0]
-		for i := uint32(0); i < deg; i++ {
-			entry, err := stream.next()
-			if err != nil {
-				return false, fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
-			}
-			adj = append(adj, entry)
+		adj, err := br.adj(deg)
+		if err != nil {
+			return false, fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
 		}
 		e.prog.Update(ctx, v, &e.verts[v-lo], adj)
 		e.updates++
 		e.charge(1, sim.CostVertexUpdate)
 		e.charge(int64(deg), sim.CostEdgeScan)
 	}
+	e.batchBuf = br.buf
 	return active, nil
 }
 
@@ -988,7 +990,7 @@ func (e *Engine[V, M]) runWorkerSelective(stream entrySource, iter int, lo, hi g
 	ctx := &Context[M]{iteration: iter, active: &active, as: e.sel}
 	ctx.send = e.makeSend(lo, hi)
 
-	var adj []graph.VertexID
+	br := newBatchReader(stream, e.batchBuf)
 	for _, run := range sched.runs {
 		for v := run.lo; v < run.hi; v++ {
 			deg := e.selDegs[v-lo]
@@ -996,13 +998,9 @@ func (e *Engine[V, M]) runWorkerSelective(stream entrySource, iter int, lo, hi g
 				e.sel.clear(v)
 			}
 			ctx.cur = v
-			adj = adj[:0]
-			for i := uint32(0); i < deg; i++ {
-				entry, err := stream.next()
-				if err != nil {
-					return false, fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
-				}
-				adj = append(adj, entry)
+			adj, err := br.adj(deg)
+			if err != nil {
+				return false, fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
 			}
 			e.prog.Update(ctx, v, &e.verts[v-lo], adj)
 			e.updates++
@@ -1010,6 +1008,7 @@ func (e *Engine[V, M]) runWorkerSelective(stream entrySource, iter int, lo, hi g
 			e.charge(int64(deg), sim.CostEdgeScan)
 		}
 	}
+	e.batchBuf = br.buf
 	return active, nil
 }
 

@@ -150,6 +150,35 @@ func BenchmarkEngineSortedSpill(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineBatchWorker pins the batch adjacency dispatch: the
+// same run as BenchmarkEngine but with the parallel Worker speculating
+// over chunks, so both the engine-goroutine batch reader (re-execution)
+// and the per-chunk readers are on the measured path. The CI baseline
+// holds this and its alloc count — a regression here means a dispatch
+// path fell back to per-entry next() or re-grew its buffer per vertex.
+func BenchmarkEngineBatchWorker(b *testing.B) {
+	g := benchGraph(b)
+	opts := Options{
+		MemoryBudget:      budgetForPartitions(g, 8, 4, 4096),
+		DynamicMessages:   true,
+		MsgBufferBytes:    4096,
+		MaxIterations:     3,
+		WorkerParallelism: 4,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := New[minVal, uint32](DOSLayout(g), minLabel{}, minValCodec{}, graph.Uint32Codec{}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		eng.Cleanup()
+	}
+}
+
 // BenchmarkWorkerParallel measures the chunked Worker on the
 // compute-heavy, message-free program where speculation never loses its
 // bet — the intended speedup case for Options.WorkerParallelism.

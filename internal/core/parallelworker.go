@@ -277,7 +277,7 @@ func (e *Engine[V, M]) speculateChunk(c *workerChunk[V], snap []byte, partLo gra
 		e.mcodec.Encode(c.log[off+4:], m)
 	}
 
-	var adj []graph.VertexID
+	br := newBatchReader(src, nil)
 	for v := c.lo; v < c.hi; v++ {
 		deg := c.degs[v-c.lo]
 		if c.acts != nil {
@@ -286,14 +286,10 @@ func (e *Engine[V, M]) speculateChunk(c *workerChunk[V], snap []byte, partLo gra
 			}
 			ctx.cur = v
 		}
-		adj = adj[:0]
-		for i := uint32(0); i < deg; i++ {
-			entry, err := src.next()
-			if err != nil {
-				c.err = fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
-				return
-			}
-			adj = append(adj, entry)
+		adj, err := br.adj(deg)
+		if err != nil {
+			c.err = fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
+			return
 		}
 		e.prog.Update(ctx, v, &c.states[v-c.lo], adj)
 		c.edges += int64(deg)
@@ -387,7 +383,7 @@ func (e *Engine[V, M]) reexecuteChunk(c *workerChunk[V], iter int, lo, hi graph.
 		e.bufferMessage(dst, m)
 	}
 
-	var adj []graph.VertexID
+	br := newBatchReader(src, e.batchBuf)
 	for v := c.lo; v < c.hi; v++ {
 		deg := c.degs[v-c.lo]
 		if e.sel != nil {
@@ -396,19 +392,16 @@ func (e *Engine[V, M]) reexecuteChunk(c *workerChunk[V], iter int, lo, hi graph.
 			}
 			ctx.cur = v
 		}
-		adj = adj[:0]
-		for i := uint32(0); i < deg; i++ {
-			entry, err := src.next()
-			if err != nil {
-				return fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
-			}
-			adj = append(adj, entry)
+		adj, err := br.adj(deg)
+		if err != nil {
+			return fmt.Errorf("core: adjacency stream for vertex %d: %w", v, err)
 		}
 		e.prog.Update(ctx, v, &e.verts[v-lo], adj)
 		e.updates++
 		e.charge(1, sim.CostVertexUpdate)
 		e.charge(int64(deg), sim.CostEdgeScan)
 	}
+	e.batchBuf = br.buf
 	if act {
 		*active = true
 	}

@@ -164,14 +164,55 @@ func readChunk(r *storage.Reader, buf []byte) (int, error) {
 // next returns the next adjacency entry.
 func (s *entryStream) next() (graph.VertexID, error) {
 	if s.met != nil {
-		return s.nextParsed()
+		if err := s.fillParsed(); err != nil {
+			return 0, err
+		}
+		v := s.entries[s.epos]
+		s.epos++
+		return v, nil
 	}
+	if err := s.fillRaw(); err != nil {
+		return 0, err
+	}
+	v := graph.VertexID(binary.LittleEndian.Uint32(s.cur[s.pos:]))
+	s.pos += 4
+	return v, nil
+}
+
+// read bulk-parses entries from the current block into dst
+// (batchSource), refilling from the prefetcher when the block is spent.
+func (s *entryStream) read(dst []graph.VertexID) (int, error) {
+	if s.met != nil {
+		if err := s.fillParsed(); err != nil {
+			return 0, err
+		}
+		n := copy(dst, s.entries[s.epos:])
+		s.epos += n
+		return n, nil
+	}
+	if err := s.fillRaw(); err != nil {
+		return 0, err
+	}
+	n := (len(s.cur) - s.pos) / 4
+	if n > len(dst) {
+		n = len(dst)
+	}
+	data := s.cur[s.pos:]
+	for i := 0; i < n; i++ {
+		dst[i] = graph.VertexID(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	s.pos += n * 4
+	return n, nil
+}
+
+// fillRaw makes at least one entry available in the current block on
+// the unmeasured path. Entries never straddle blocks: block size is a
+// multiple of the entry size and ranges are entry-aligned.
+func (s *entryStream) fillRaw() error {
 	if s.err != nil {
-		return 0, s.err
+		return s.err
 	}
 	for s.pos+4 > len(s.cur) {
-		// Entries never straddle blocks: block size is a multiple
-		// of the entry size and ranges are entry-aligned.
 		if s.cur != nil {
 			blockPool.Put(s.cur)
 			s.cur = nil
@@ -179,37 +220,35 @@ func (s *entryStream) next() (graph.VertexID, error) {
 		blk, ok := <-s.blocks
 		if !ok {
 			s.err = fmt.Errorf("core: adjacency stream exhausted early")
-			return 0, s.err
+			return s.err
 		}
 		if blk.err != nil {
 			s.err = blk.err
-			return 0, s.err
+			return s.err
 		}
 		s.cur = blk.data
 		s.pos = 0
 	}
-	v := graph.VertexID(binary.LittleEndian.Uint32(s.cur[s.pos:]))
-	s.pos += 4
-	return v, nil
+	return nil
 }
 
-// nextParsed is next() on the measured path: each block is batch-parsed
+// fillParsed is fillRaw on the measured path: each block is batch-parsed
 // into the entries slice — the same total decode work as the seed path,
 // but grouped so the Dispatcher's parse time is attributable — and the
 // block buffer is recycled immediately.
-func (s *entryStream) nextParsed() (graph.VertexID, error) {
+func (s *entryStream) fillParsed() error {
 	if s.err != nil {
-		return 0, s.err
+		return s.err
 	}
 	for s.epos >= len(s.entries) {
 		blk, ok := s.recvBlock()
 		if !ok {
 			s.err = fmt.Errorf("core: adjacency stream exhausted early")
-			return 0, s.err
+			return s.err
 		}
 		if blk.err != nil {
 			s.err = blk.err
-			return 0, s.err
+			return s.err
 		}
 		t0 := time.Now()
 		n := len(blk.data) / 4
@@ -224,9 +263,7 @@ func (s *entryStream) nextParsed() (graph.VertexID, error) {
 		s.met.dispatchNS.Add(int64(time.Since(t0)))
 		blockPool.Put(blk.data)
 	}
-	v := s.entries[s.epos]
-	s.epos++
-	return v, nil
+	return nil
 }
 
 // recvBlock receives the next prefetched block, counting a stall (and its

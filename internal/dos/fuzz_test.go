@@ -80,13 +80,15 @@ func FuzzEdgesDecode(f *testing.F) {
 	_, e1, _, _ := seedFiles(f, nil)
 	_, e2, _, _ := seedFiles(f, storage.CodecRaw)
 	_, e3, _, _ := seedFiles(f, storage.CodecVarint)
+	_, e4, _, _ := seedFiles(f, storage.CodecGroupVarint)
 	f.Add(e1)
 	f.Add(e2)
 	f.Add(e3)
+	f.Add(e4)
 	f.Add(e3[:len(e3)-1])
 	f.Add([]byte{0x80, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		for _, codec := range []storage.Codec{nil, storage.CodecRaw, storage.CodecVarint} {
+		for _, codec := range []storage.Codec{nil, storage.CodecRaw, storage.CodecVarint, storage.CodecGroupVarint} {
 			dev := storage.NewDevice(storage.NullDevice, storage.Options{})
 			if err := graph.WriteEdges(dev, "g.raw", paperEdges); err != nil {
 				t.Fatal(err)
@@ -112,13 +114,14 @@ func FuzzEdgesDecode(f *testing.F) {
 		}
 		_, _ = storage.CodecRaw.DecodeBlock(nil, data)
 		_, _ = storage.CodecVarint.DecodeBlock(nil, data)
+		_, _ = storage.CodecGroupVarint.DecodeBlock(nil, data)
 	})
 }
 
 // FuzzVerify feeds a whole fuzzed file set through Load+Verify: whatever
 // Load accepts, Verify must walk to a verdict without panicking.
 func FuzzVerify(f *testing.F) {
-	for _, codec := range []storage.Codec{nil, storage.CodecVarint} {
+	for _, codec := range []storage.Codec{nil, storage.CodecVarint, storage.CodecGroupVarint} {
 		meta, edges, n2o, o2n := seedFiles(f, codec)
 		f.Add(meta, edges, n2o, o2n)
 		f.Add(meta, edges[:len(edges)-2], n2o, o2n)
@@ -161,6 +164,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	m1, e1, n1, o1 := seedFiles(t, nil)
 	m2, e2, n2, o2 := seedFiles(t, storage.CodecRaw)
 	m3, e3, n3, o3 := seedFiles(t, storage.CodecVarint)
+	m4, e4, n4, o4 := seedFiles(t, storage.CodecGroupVarint)
 	write := func(target, name string, vals ...[]byte) {
 		dir := filepath.Join("testdata", "fuzz", target)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -174,12 +178,15 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	write("FuzzMetaParse", "meta-v2-raw", m2)
 	write("FuzzMetaParse", "meta-v2-varint", m3)
 	write("FuzzMetaParse", "meta-v2-truncated", m3[:40])
+	write("FuzzMetaParse", "meta-v2-groupvarint", m4)
 	write("FuzzEdgesDecode", "edges-v1", e1)
 	write("FuzzEdgesDecode", "edges-v2-raw", e2)
 	write("FuzzEdgesDecode", "edges-v2-varint", e3)
+	write("FuzzEdgesDecode", "edges-v2-groupvarint", e4)
 	write("FuzzEdgesDecode", "edges-continuation-tail", []byte{0x02, 0x02, 0x80})
 	write("FuzzVerify", "set-v1", m1, e1, n1, o1)
 	write("FuzzVerify", "set-v2-raw", m2, e2, n2, o2)
 	write("FuzzVerify", "set-v2-varint", m3, e3, n3, o3)
+	write("FuzzVerify", "set-v2-groupvarint", m4, e4, n4, o4)
 	write("FuzzVerify", "set-v2-truncated-edges", m3, e3[:len(e3)-2], n3, o3)
 }

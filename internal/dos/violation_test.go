@@ -26,12 +26,13 @@ func TestVerifyViolations(t *testing.T) {
 		}
 	}
 	cases := []struct {
-		name    string
-		corrupt func(t *testing.T, dev *storage.Device) *Graph
-		file    func(g *Graph) string
-		offset  int64
-		bucket  int
-		substr  string
+		name     string
+		corrupt  func(t *testing.T, dev *storage.Device) *Graph
+		file     func(g *Graph) string
+		offset   int64
+		offsetOf func(g *Graph) int64 // computed expectation; overrides offset
+		bucket   int
+		substr   string
 	}{
 		{
 			name: "v1 bucket offset breaks arithmetic",
@@ -140,6 +141,39 @@ func TestVerifyViolations(t *testing.T) {
 			substr: "out of range",
 		},
 		{
+			name: "v2 groupvarint truncated length table",
+			corrupt: func(t *testing.T, dev *storage.Device) *Graph {
+				g := convertEdgesV2(t, dev, paperEdges, "g", storage.CodecGroupVarint, 2)
+				// Block 1 holds 2 entries; its control byte directly
+				// follows the count byte. 0xFF codes the two unused
+				// lanes nonzero and claims 4-byte widths the block
+				// does not have — a truncated/hostile length table.
+				writeAt(t, dev, g.EdgesFile(), g.blockOffs[1]+1, []byte{0xFF})
+				return g
+			},
+			file: (*Graph).EdgesFile,
+			// The violation pins block 1's start; entry 2 is bucket 0.
+			offsetOf: func(g *Graph) int64 { return g.blockOffs[1] },
+			bucket:   0,
+			substr:   "undecodable",
+		},
+		{
+			name: "v2 groupvarint hostile block offset",
+			corrupt: func(t *testing.T, dev *storage.Device) *Graph {
+				g := convertEdgesV2(t, dev, paperEdges, "g", storage.CodecGroupVarint, 2)
+				// Shift an interior boundary: the table stays monotone
+				// and still ends at the file size, but block 0 gains a
+				// trailing byte (and block 1 loses its count header) —
+				// only the per-block decode check can catch it.
+				g.blockOffs[1]++
+				return g
+			},
+			file:     (*Graph).EdgesFile,
+			offsetOf: func(g *Graph) int64 { return 0 },
+			bucket:   0,
+			substr:   "undecodable",
+		},
+		{
 			name: "v2 block table does not end at the file size",
 			corrupt: func(t *testing.T, dev *storage.Device) *Graph {
 				g := convertEdgesV2(t, dev, paperEdges, "g", storage.CodecRaw, 2)
@@ -185,8 +219,12 @@ func TestVerifyViolations(t *testing.T) {
 			if v.File != tc.file(g) {
 				t.Errorf("File = %q, want %q (%v)", v.File, tc.file(g), err)
 			}
-			if v.Offset != tc.offset {
-				t.Errorf("Offset = %d, want %d (%v)", v.Offset, tc.offset, err)
+			wantOff := tc.offset
+			if tc.offsetOf != nil {
+				wantOff = tc.offsetOf(g)
+			}
+			if v.Offset != wantOff {
+				t.Errorf("Offset = %d, want %d (%v)", v.Offset, wantOff, err)
 			}
 			if v.Bucket != tc.bucket {
 				t.Errorf("Bucket = %d, want %d (%v)", v.Bucket, tc.bucket, err)
@@ -219,7 +257,7 @@ func TestVerifyViolationUnwrapsCodecError(t *testing.T) {
 // TestVerifyV2Graphs runs the full checker over clean v2 conversions of
 // the standard corpus under both codecs.
 func TestVerifyV2Graphs(t *testing.T) {
-	for _, codec := range []storage.Codec{storage.CodecRaw, storage.CodecVarint} {
+	for _, codec := range []storage.Codec{storage.CodecRaw, storage.CodecVarint, storage.CodecGroupVarint} {
 		dev := storage.NewDevice(storage.NullDevice, storage.Options{})
 		g := convertEdgesV2(t, dev, paperEdges, "g", codec, 2)
 		if err := Verify(g); err != nil {

@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Fuzz targets for the group-varint block codec. The contract under
+// test mirrors the DOS parser fuzzing: arbitrary block bytes may
+// produce a typed *CodecError (matching ErrCorruptBlock), never a
+// panic, and the decoded entry count stays bounded by the input size.
+// Run the short CI budget with `make fuzz-short`; seed corpora live
+// under testdata/fuzz (regenerate with GRAPHZ_WRITE_FUZZ_CORPUS=1
+// go test -run TestWriteFuzzCorpus ./internal/storage/).
+
+// gvSeedBlocks are small entry sets whose encodings seed both targets:
+// ascending runs (the DOS adjacency shape), boundary values exercising
+// every lane width, and the wrap-around delta at a backward jump.
+var gvSeedBlocks = [][]uint32{
+	{},
+	{0},
+	{1, 2, 3, 4, 5},
+	{10, 20, 3, 7, 0xffffffff, 0, 300, 70000, 1 << 24},
+	{5, 5, 5, 5, 4, 3, 2, 1},
+}
+
+func FuzzGroupVarintDecode(f *testing.F) {
+	for _, entries := range gvSeedBlocks {
+		f.Add(CodecGroupVarint.EncodeBlock(nil, entries))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80})             // truncated count varint
+	f.Add([]byte{0x04, 0xff})       // count 4, control byte claims 4-byte lanes, no data
+	f.Add([]byte{0x02, 0x00, 0x01}) // short final group, one lane short
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := CodecGroupVarint.DecodeBlock(nil, data)
+		if err != nil {
+			var ce *CodecError
+			if !errors.As(err, &ce) || !errors.Is(err, ErrCorruptBlock) {
+				t.Fatalf("decode error is not a *CodecError matching ErrCorruptBlock: %v", err)
+			}
+			if len(dec) != 0 {
+				t.Fatalf("failed decode returned %d entries alongside the error", len(dec))
+			}
+			return
+		}
+		if len(dec) > len(data) {
+			t.Fatalf("decoded %d entries from %d bytes: count not bounded by input size", len(dec), len(data))
+		}
+		// Accepted input must round-trip: re-encoding the decoded
+		// entries (canonical form) and decoding again yields the same
+		// entries, even when the input used non-minimal lane widths.
+		enc := CodecGroupVarint.EncodeBlock(nil, dec)
+		if len(enc) > MaxEncodedLen(len(dec)) {
+			t.Fatalf("encoding of %d entries is %d bytes, above MaxEncodedLen=%d", len(dec), len(enc), MaxEncodedLen(len(dec)))
+		}
+		dec2, err := CodecGroupVarint.DecodeBlock(nil, enc)
+		if err != nil {
+			t.Fatalf("re-decoding a canonical re-encoding failed: %v", err)
+		}
+		if len(dec) != len(dec2) {
+			t.Fatalf("round trip changed the entry count: %d != %d", len(dec), len(dec2))
+		}
+		for i := range dec {
+			if dec[i] != dec2[i] {
+				t.Fatalf("round trip changed entry %d: %d != %d", i, dec[i], dec2[i])
+			}
+		}
+	})
+}
+
+// FuzzGroupVarintRoundTrip drives the encoder with arbitrary entries
+// (the fuzz bytes chunked as little-endian u32s): encode must stay
+// within MaxEncodedLen and decode must reproduce the entries exactly,
+// with no error ever.
+func FuzzGroupVarintRoundTrip(f *testing.F) {
+	for _, entries := range gvSeedBlocks {
+		raw := make([]byte, 4*len(entries))
+		for i, v := range entries {
+			binary.LittleEndian.PutUint32(raw[4*i:], v)
+		}
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		entries := make([]uint32, len(raw)/4)
+		for i := range entries {
+			entries[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		enc := CodecGroupVarint.EncodeBlock(nil, entries)
+		if len(enc) > MaxEncodedLen(len(entries)) {
+			t.Fatalf("encoding of %d entries is %d bytes, above MaxEncodedLen=%d", len(entries), len(enc), MaxEncodedLen(len(entries)))
+		}
+		dec, err := CodecGroupVarint.DecodeBlock(nil, enc)
+		if err != nil {
+			t.Fatalf("decoding our own encoding of %d entries failed: %v", len(entries), err)
+		}
+		if len(dec) != len(entries) {
+			t.Fatalf("round trip changed the entry count: %d != %d", len(dec), len(entries))
+		}
+		for i := range entries {
+			if dec[i] != entries[i] {
+				t.Fatalf("round trip changed entry %d: %d != %d", i, dec[i], entries[i])
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpora under
+// testdata/fuzz. It is a no-op unless GRAPHZ_WRITE_FUZZ_CORPUS is set.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("GRAPHZ_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set GRAPHZ_WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	write := func(target, name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		b.WriteString("go test fuzz v1\n")
+		fmt.Fprintf(&b, "[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, entries := range gvSeedBlocks {
+		enc := CodecGroupVarint.EncodeBlock(nil, entries)
+		write("FuzzGroupVarintDecode", fmt.Sprintf("gv-valid-%d", i), enc)
+		raw := make([]byte, 4*len(entries))
+		for j, v := range entries {
+			binary.LittleEndian.PutUint32(raw[4*j:], v)
+		}
+		write("FuzzGroupVarintRoundTrip", fmt.Sprintf("gv-entries-%d", i), raw)
+	}
+	write("FuzzGroupVarintDecode", "gv-truncated-count", []byte{0x80})
+	write("FuzzGroupVarintDecode", "gv-truncated-lanes", []byte{0x04, 0xff})
+	write("FuzzGroupVarintDecode", "gv-short-final-group", []byte{0x02, 0x00, 0x01})
+}
